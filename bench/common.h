@@ -1,0 +1,66 @@
+//===- bench/common.h - Shared glue for the paper-reproduction benches ----===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation section.  They share the database construction and a few
+// printing helpers, collected here.  This header is bench-only glue, not
+// part of the library API.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_BENCH_COMMON_H
+#define FGBS_BENCH_COMMON_H
+
+#include "fgbs/core/Pipeline.h"
+#include "fgbs/suites/Suites.h"
+#include "fgbs/support/Statistics.h"
+#include "fgbs/support/TextTable.h"
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+namespace fgbs {
+namespace bench {
+
+/// A suite together with its measurement database (the suite must outlive
+/// the database, hence the bundle).
+struct Study {
+  Suite TheSuite;
+  std::unique_ptr<MeasurementDatabase> Db;
+
+  explicit Study(Suite S) : TheSuite(std::move(S)) {
+    Db = std::make_unique<MeasurementDatabase>(TheSuite, makeNehalem(),
+                                               paperTargets());
+  }
+};
+
+inline std::unique_ptr<Study> makeNrStudy() {
+  return std::make_unique<Study>(makeNumericalRecipes());
+}
+
+inline std::unique_ptr<Study> makeNasStudy() {
+  return std::make_unique<Study>(makeNasSer());
+}
+
+/// Prints the standard banner for one experiment.
+inline void banner(const std::string &Id, const std::string &Title) {
+  std::cout << "==============================================================="
+               "=\n"
+            << Id << " -- " << Title << "\n"
+            << "Reproduction of de Oliveira Castro et al., CGO 2014.\n"
+            << "==============================================================="
+               "=\n\n";
+}
+
+/// Prints a short paper-vs-measured note.
+inline void paperNote(const std::string &Note) {
+  std::cout << "\n[paper] " << Note << "\n";
+}
+
+} // namespace bench
+} // namespace fgbs
+
+#endif // FGBS_BENCH_COMMON_H

@@ -1,0 +1,60 @@
+//===- bench/fig4_codelet_prediction.cpp - Paper Figure 4 -----------------===//
+//
+// Regenerates Figure 4: per-codelet predicted and real execution times on
+// Sandy Bridge, grouped by NAS application, against the Nehalem reference
+// times.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common.h"
+
+using namespace fgbs;
+
+int main() {
+  bench::banner("Figure 4",
+                "Predicted vs real codelet times on Sandy Bridge, by NAS "
+                "application");
+
+  std::unique_ptr<bench::Study> Study = bench::makeNasStudy();
+  const MeasurementDatabase &Db = *Study->Db;
+  PipelineResult R = Pipeline(Db, PipelineConfig()).run();
+
+  std::size_t SbIdx = 0;
+  for (std::size_t T = 0; T < R.Targets.size(); ++T)
+    if (R.Targets[T].MachineName == "Sandy Bridge")
+      SbIdx = T;
+  const TargetEvaluation &SB = R.Targets[SbIdx];
+
+  unsigned Mispredicted = 0;
+  for (const std::string &App : SB.AppNames) {
+    std::cout << "--- " << App << " ---\n";
+    TextTable T;
+    T.setHeader({"codelet", "ref ms/inv", "SB real ms", "SB predicted ms",
+                 "error"});
+    for (std::size_t I = 0; I < R.Kept.size(); ++I) {
+      if (Db.codelet(R.Kept[I]).App != App)
+        continue;
+      double Err = SB.ErrorsPercent[I];
+      Mispredicted += Err > 20.0;
+      T.addRow({Db.codelet(R.Kept[I]).Name,
+                formatDouble(
+                    Db.profile(R.Kept[I]).InApp.MeasuredSeconds * 1e3, 2),
+                formatDouble(SB.Real[I] * 1e3, 2),
+                formatDouble(SB.Predicted[I] * 1e3, 2),
+                formatPercent(Err) + (Err > 20.0 ? "  <-- mispredicted" : "")});
+    }
+    T.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Median error: " << formatPercent(SB.MedianErrorPercent)
+            << "; codelets with error > 20%: " << Mispredicted << " of "
+            << R.Kept.size() << "\n";
+
+  bench::paperNote(
+      "Paper Figure 4: Sandy Bridge predicted with a 5.8% median error; "
+      "only three codelets (in BT, LU and SP) are visibly mispredicted, "
+      "and every codelet is faster on Sandy Bridge than on the reference. "
+      "Shape: low median, isolated outliers, uniform speedups.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- bench/fig5_app_prediction.cpp - Paper Figure 5 ---------------------===//
+//
+// Regenerates Figure 5: whole-application predicted and real execution
+// times on the three targets, next to the reference times.  Codelets
+// cover 92% of each application; the uncovered remainder is assumed to
+// share the covered part's speedup (section 4.4).
+//
+// The CG-on-Atom misprediction is the paper's one notable failure: CG is
+// dominated by a single cache-state-sensitive codelet whose extracted
+// microbenchmark runs unrealistically fast on Atom.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common.h"
+
+using namespace fgbs;
+
+int main() {
+  bench::banner("Figure 5",
+                "Application-level predicted vs real times on each target");
+
+  std::unique_ptr<bench::Study> Study = bench::makeNasStudy();
+  PipelineResult R = Pipeline(*Study->Db, PipelineConfig()).run();
+
+  for (const TargetEvaluation &E : R.Targets) {
+    std::cout << "--- " << E.MachineName << " ---\n";
+    TextTable T;
+    T.setHeader({"app", "reference s", "real s", "predicted s", "error"});
+    for (std::size_t A = 0; A < E.AppNames.size(); ++A) {
+      double Err = percentError(E.AppPredicted[A], E.AppReal[A]);
+      T.addRow({E.AppNames[A], formatDouble(E.AppReference[A], 1),
+                formatDouble(E.AppReal[A], 1),
+                formatDouble(E.AppPredicted[A], 1),
+                formatPercent(Err) +
+                    (Err > 15.0 ? "  <-- mispredicted" : "")});
+    }
+    T.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::paperNote(
+      "Paper Figure 5: every benchmark slows down on Atom (CG badly "
+      "underpredicted there: its dominant codelet's microbenchmark "
+      "preserves too warm a cache); everything speeds up on Sandy Bridge; "
+      "Core 2 splits per application (BT/FT faster, LU slower), which is "
+      "exactly the system-selection scenario.  Shape: same winners and "
+      "losers, CG/Atom the only large application error.");
+  return 0;
+}

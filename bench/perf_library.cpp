@@ -1,0 +1,197 @@
+//===- bench/perf_library.cpp - Library performance microbenchmarks -------===//
+//
+// Google-benchmark microbenchmarks of the library's hot paths: the
+// trace-driven cache hierarchy, the executor, Ward clustering, the elbow
+// search, representative selection, the prediction model, feature
+// computation, and GA generations.  These guard the costs that make the
+// cluster-count sweeps (Figure 3/7) and the GA (Table 2) tractable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/cluster/Hierarchical.h"
+#include "fgbs/core/Pipeline.h"
+#include "fgbs/dsl/Builder.h"
+#include "fgbs/dsl/Text.h"
+#include "fgbs/ga/GeneticAlgorithm.h"
+#include "fgbs/suites/Suites.h"
+#include "fgbs/suites/Synthetic.h"
+#include "fgbs/support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace fgbs;
+
+namespace {
+
+FeatureTable syntheticPoints(std::size_t N, std::size_t Dim) {
+  Rng R(99);
+  FeatureTable Points(N, std::vector<double>(Dim));
+  for (auto &P : Points)
+    for (double &V : P)
+      V = R.normal();
+  return Points;
+}
+
+Codelet benchCodelet(std::uint64_t Elems) {
+  CodeletBuilder B("perf_triad", "perf");
+  unsigned A = B.array("a", Precision::DP, Elems);
+  unsigned X = B.array("x", Precision::DP, Elems);
+  B.loops(Elems);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 add(B.ld(X, StrideClass::Unit),
+                     mul(constant(Precision::DP),
+                         B.ld(A, StrideClass::Unit)))));
+  return B.take();
+}
+
+void BM_CacheHierarchyAccess(benchmark::State &State) {
+  Machine M = makeNehalem();
+  CacheHierarchy H(M);
+  std::uint64_t Addr = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(H.access(Addr));
+    Addr += 64;
+    Addr &= (64 << 20) - 1;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void BM_SampleMemoryBehavior(benchmark::State &State) {
+  Machine M = makeNehalem();
+  std::vector<MemoryStreamDesc> Streams = {
+      {8, 8ull << 20, 1, false, 8}, {8, 8ull << 20, 1, true, 8}};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(sampleMemoryBehavior(Streams, M, 1 << 20));
+}
+BENCHMARK(BM_SampleMemoryBehavior);
+
+void BM_ExecutorRun(benchmark::State &State) {
+  Codelet C = benchCodelet(1 << 20);
+  Machine M = makeNehalem();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(execute(C, M, ExecutionRequest()));
+}
+BENCHMARK(BM_ExecutorRun);
+
+void BM_CompileCodelet(benchmark::State &State) {
+  Codelet C = benchCodelet(1 << 20);
+  Machine M = makeNehalem();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        compile(C, M, CompilationContext::InApplication));
+}
+BENCHMARK(BM_CompileCodelet);
+
+void BM_WardClustering(benchmark::State &State) {
+  FeatureTable Points = syntheticPoints(State.range(0), 14);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(hierarchicalCluster(Points, Linkage::Ward));
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_WardClustering)->Arg(28)->Arg(67)->Arg(128)->Complexity();
+
+void BM_ElbowSearch(benchmark::State &State) {
+  FeatureTable Points = syntheticPoints(67, 14);
+  Dendrogram Tree = hierarchicalCluster(Points);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(elbowK(Points, Tree, 24));
+}
+BENCHMARK(BM_ElbowSearch);
+
+void BM_RepresentativeSelection(benchmark::State &State) {
+  FeatureTable Points = syntheticPoints(67, 14);
+  Dendrogram Tree = hierarchicalCluster(Points);
+  Clustering C = Tree.cut(18);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(selectRepresentatives(
+        Points, C, [](std::size_t) { return true; }));
+}
+BENCHMARK(BM_RepresentativeSelection);
+
+void BM_PredictionModel(benchmark::State &State) {
+  Rng R(7);
+  std::vector<double> RefTimes(67);
+  std::vector<int> Assignment(67);
+  for (std::size_t I = 0; I < 67; ++I) {
+    RefTimes[I] = 0.001 + R.uniform();
+    Assignment[I] = static_cast<int>(I % 18);
+  }
+  std::vector<std::size_t> Reps;
+  for (std::size_t K = 0; K < 18; ++K)
+    Reps.push_back(K); // Codelet K is in cluster K.
+  std::vector<double> RepTimes(18, 0.5);
+  for (auto _ : State) {
+    PredictionModel M = PredictionModel::build(RefTimes, Assignment, Reps);
+    benchmark::DoNotOptimize(M.predict(RepTimes));
+  }
+}
+BENCHMARK(BM_PredictionModel);
+
+void BM_FeatureComputation(benchmark::State &State) {
+  Codelet C = benchCodelet(1 << 20);
+  Machine Ref = makeNehalem();
+  Measurement M = measureInApp(C, Ref);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeFeatures(C, Ref, M));
+}
+BENCHMARK(BM_FeatureComputation);
+
+void BM_GaGeneration(benchmark::State &State) {
+  for (auto _ : State) {
+    GaConfig Cfg;
+    Cfg.ChromosomeLength = 76;
+    Cfg.PopulationSize = 100;
+    Cfg.Generations = 5;
+    benchmark::DoNotOptimize(runGa(Cfg, [](const Chromosome &C) {
+      double Zeros = 0.0;
+      for (bool Bit : C)
+        Zeros += !Bit;
+      return Zeros;
+    }));
+  }
+}
+BENCHMARK(BM_GaGeneration);
+
+void BM_PipelineRerun(benchmark::State &State) {
+  // Steps C-E over a prebuilt database: the cost of one point in the
+  // Figure 3 K-sweep or one Figure 7 random-clustering evaluation.
+  static Suite S = makeSyntheticSuite({});
+  static MeasurementDatabase Db(S, makeNehalem(), {makeSandyBridge()});
+  Pipeline P(Db, PipelineConfig());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.run());
+}
+BENCHMARK(BM_PipelineRerun);
+
+void BM_SuiteTextRoundTrip(benchmark::State &State) {
+  Suite S = makeSyntheticSuite({});
+  for (auto _ : State) {
+    std::string Printed = printSuite(S);
+    benchmark::DoNotOptimize(parseSuite(Printed));
+  }
+}
+BENCHMARK(BM_SuiteTextRoundTrip);
+
+void BM_SyntheticGeneration(benchmark::State &State) {
+  SyntheticConfig Config;
+  Config.NumApplications = 8;
+  Config.CodeletsPerApp = 16;
+  std::uint64_t Seed = 0;
+  for (auto _ : State) {
+    Config.Seed = ++Seed;
+    benchmark::DoNotOptimize(makeSyntheticSuite(Config));
+  }
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+void BM_RandomClustering(benchmark::State &State) {
+  std::uint64_t Seed = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(randomClustering(67, 18, ++Seed));
+}
+BENCHMARK(BM_RandomClustering);
+
+} // namespace
+
+BENCHMARK_MAIN();

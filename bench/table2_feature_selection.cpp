@@ -1,0 +1,101 @@
+//===- bench/table2_feature_selection.cpp - Paper Table 2 -----------------===//
+//
+// Regenerates Table 2: genetic-algorithm feature selection on the
+// Numerical Recipes training set (section 4.2).
+//
+// Individuals are 76-bit masks over the feature catalog.  Fitness (to
+// minimize) is max(avg_err_Atom, avg_err_SandyBridge) x K, where K is the
+// number of representatives the elbow-cut clustering produces under that
+// feature set.  Core 2 and the NAS benchmarks stay out of training, as in
+// the paper.  GA parameters follow the paper: population 1000, 100
+// generations, mutation probability 0.01.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/common.h"
+
+#include "fgbs/ga/GeneticAlgorithm.h"
+
+using namespace fgbs;
+
+int main() {
+  bench::banner("Table 2", "GA feature selection on Numerical Recipes");
+
+  std::unique_ptr<bench::Study> Study = bench::makeNrStudy();
+  const MeasurementDatabase &Db = *Study->Db;
+
+  auto EvaluateMask = [&Db](const FeatureMask &Mask) {
+    PipelineConfig Cfg;
+    Cfg.Features = Mask;
+    PipelineResult R = Pipeline(Db, Cfg).run();
+    double ErrAtom = 0.0;
+    double ErrSb = 0.0;
+    for (const TargetEvaluation &E : R.Targets) {
+      if (E.MachineName == "Atom")
+        ErrAtom = E.AverageErrorPercent;
+      if (E.MachineName == "Sandy Bridge")
+        ErrSb = E.AverageErrorPercent;
+    }
+    return std::make_tuple(std::max(ErrAtom, ErrSb), R.Selection.FinalK,
+                           ErrAtom, ErrSb);
+  };
+
+  GaConfig Cfg;
+  Cfg.ChromosomeLength = NumFeatures;
+  Cfg.PopulationSize = 1000;
+  Cfg.Generations = 100;
+  Cfg.MutationProbability = 0.01;
+  Cfg.Seed = 0xC602014; // Deterministic study seed (CGO 2014).
+
+  GaResult R = runGa(Cfg, [&](const Chromosome &C) {
+    FeatureMask Mask(C.begin(), C.end());
+    if (maskCount(Mask) == 0)
+      return 1e12; // Infeasible: no features selected.
+    auto [Err, K, A, S] = EvaluateMask(Mask);
+    (void)A;
+    (void)S;
+    return Err * static_cast<double>(K);
+  });
+
+  FeatureMask Best(R.Best.begin(), R.Best.end());
+  auto [BestErr, BestK, BestAtom, BestSb] = EvaluateMask(Best);
+
+  std::cout << "GA converged at generation " << R.ConvergedAtGeneration
+            << " (paper: 47) after " << R.Evaluations
+            << " distinct fitness evaluations\n"
+            << "Best fitness " << formatDouble(R.BestFitness, 2) << " = max("
+            << formatPercent(BestAtom) << ", " << formatPercent(BestSb)
+            << ") x K=" << BestK << "\n\n";
+
+  const FeatureCatalog &Cat = FeatureCatalog::get();
+  std::cout << "Selected dynamic (Likwid-like) features:\n";
+  for (std::size_t I = 0; I < NumFeatures; ++I)
+    if (Best[I] && Cat.info(I).Kind == FeatureKind::Dynamic)
+      std::cout << "  - " << Cat.info(I).Name << "\n";
+  std::cout << "Selected static (MAQAO-like) features:\n";
+  for (std::size_t I = 0; I < NumFeatures; ++I)
+    if (Best[I] && Cat.info(I).Kind == FeatureKind::Static)
+      std::cout << "  - " << Cat.info(I).Name << "\n";
+
+  // Overlap with the paper's published feature set.
+  FeatureMask PaperMask = maskForNames(kTable2FeatureNames);
+  unsigned Overlap = 0;
+  for (std::size_t I = 0; I < NumFeatures; ++I)
+    Overlap += Best[I] && PaperMask[I];
+  auto [PaperErr, PaperK, PaperAtom, PaperSb] = EvaluateMask(PaperMask);
+  std::cout << "\nSelected " << maskCount(Best) << " features; " << Overlap
+            << " overlap with the paper's 14-feature set.\n"
+            << "Paper's Table 2 set on this testbed: fitness "
+            << formatDouble(PaperErr * PaperK, 2) << " = max("
+            << formatPercent(PaperAtom) << ", " << formatPercent(PaperSb)
+            << ") x K=" << PaperK << "\n";
+
+  bench::paperNote(
+      "Paper Table 2: the GA converges by generation 47 to 14 features "
+      "(4 Likwid: MFLOPS, L2 bandwidth, L3 miss rate, memory bandwidth; "
+      "10 MAQAO: bytes stored/cycle, dependency stalls, est. IPC, #DIV, "
+      "#SD, port-P1 pressure, ADD+SUB/MUL, and three vectorization "
+      "ratios).  Shape: a small mixed static+dynamic set wins; bandwidth/"
+      "miss-rate dynamics plus vectorization/divider statics recur.");
+  return 0;
+}

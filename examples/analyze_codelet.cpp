@@ -1,0 +1,66 @@
+//===- examples/analyze_codelet.cpp - MAQAO/Likwid-style loop reports -----===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// Prints a full static + dynamic analysis report for chosen codelets on
+// chosen machines — the per-loop view a performance engineer gets from
+// MAQAO and Likwid, which is exactly the information the feature vectors
+// condense.  Usage:
+//
+//   analyze_codelet [codelet-substring] [machine-substring]
+//
+// With no arguments, reports the paper's "cluster A vs cluster B" story
+// (section 4.4): a compute-bound divide/exp kernel and a memory-bound
+// stencil, on Nehalem and Core 2, showing why one speeds up on Core 2
+// while the other slows down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/analysis/Report.h"
+#include "fgbs/suites/Suites.h"
+
+#include <iostream>
+#include <string>
+
+using namespace fgbs;
+
+int main(int Argc, char **Argv) {
+  Suite Nas = makeNasSer();
+  std::vector<Machine> Machines = paperMachines();
+
+  if (Argc >= 2) {
+    std::string CodeletFilter = Argv[1];
+    std::string MachineFilter = Argc >= 3 ? Argv[2] : "Nehalem";
+    bool Found = false;
+    for (const Codelet *C : Nas.allCodelets()) {
+      if (C->Name.find(CodeletFilter) == std::string::npos)
+        continue;
+      for (const Machine &M : Machines)
+        if (M.Name.find(MachineFilter) != std::string::npos) {
+          printCodeletReport(std::cout, *C, M);
+          Found = true;
+        }
+    }
+    if (!Found)
+      std::cerr << "no codelet matches '" << CodeletFilter << "'\n";
+    return Found ? 0 : 1;
+  }
+
+  // Default tour: the section 4.4 "capturing architecture change" pair.
+  for (const Codelet *C : Nas.allCodelets()) {
+    bool ClusterA = C->Name == "lu/erhs.f:49-57";
+    bool ClusterB = C->Name == "bt/rhs.f:266-311";
+    if (!ClusterA && !ClusterB)
+      continue;
+    std::cout << (ClusterA ? "## Compute-bound (paper cluster A):\n"
+                           : "## Memory-bound (paper cluster B):\n");
+    for (const Machine &M : Machines)
+      if (M.Name == "Nehalem" || M.Name == "Core 2")
+        printCodeletReport(std::cout, *C, M);
+  }
+  std::cout << "Paper section 4.4: the compute-bound cluster is 1.37x "
+               "faster on Core 2 (clock), the memory-bound one 1.34x "
+               "slower (quarter-size last-level cache).\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- examples/compiler_tuning.cpp - Reduced suites for flag tuning ------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// The paper's conclusion: "Our method could be extended to other
+// contexts such as compiler regression test-suites or auto-tuning."
+// This example does that.  Instead of comparing architectures, it
+// compares COMPILER CONFIGURATIONS on one machine: measure only the
+// extracted representatives under each flag set, extrapolate the whole
+// suite with the prediction model, and pick the best flags — then check
+// the choice against the (expensive) full-suite truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/core/Pipeline.h"
+#include "fgbs/suites/Suites.h"
+#include "fgbs/support/Statistics.h"
+#include "fgbs/support/TextTable.h"
+
+#include <iostream>
+
+using namespace fgbs;
+
+namespace {
+
+/// Per-invocation time of \p C under \p Options (noise-free model time,
+/// standing in for a measured median).
+double timeUnder(const Codelet &C, const Machine &M,
+                 const CompilerOptions &Options) {
+  ExecutionRequest R;
+  R.DatasetScale = C.capturedDatasetScale();
+  R.Context = CompilationContext::Standalone;
+  R.Options = Options;
+  return execute(C, M, R).TrueSeconds;
+}
+
+/// Whole-suite seconds under \p Options, weighting each codelet by its
+/// invocation count (the "full benchmarking" truth).
+double fullSuiteSeconds(const MeasurementDatabase &Db,
+                        const std::vector<std::size_t> &Kept,
+                        const Machine &M, const CompilerOptions &Options) {
+  double Total = 0.0;
+  for (std::size_t Index : Kept) {
+    const Codelet &C = Db.codelet(Index);
+    ExecutionRequest R;
+    R.Options = Options;
+    Total += execute(C, M, R).TrueSeconds *
+             static_cast<double>(C.totalInvocations());
+  }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  Suite NR = makeNumericalRecipes();
+  Machine M = makeNehalem();
+  MeasurementDatabase Db(NR, M, paperTargets());
+  PipelineResult R = Pipeline(Db, PipelineConfig()).run();
+
+  std::cout << "Tuning compiler flags on " << M.Name << " over '" << NR.Name
+            << "' (" << R.Kept.size() << " codelets, "
+            << R.Selection.Representatives.size()
+            << " representatives)\n\n";
+
+  const CompilerOptions Candidates[] = {
+      CompilerOptions::o3(),
+      CompilerOptions::noVec(),
+      CompilerOptions::strictFp(),
+      CompilerOptions::noUnroll(),
+  };
+
+  // Reference times (default flags) drive the prediction matrix.
+  std::vector<double> RefTimes(R.Kept.size());
+  for (std::size_t I = 0; I < R.Kept.size(); ++I)
+    RefTimes[I] = Db.profile(R.Kept[I]).InApp.MeasuredSeconds;
+
+  TextTable T;
+  T.setHeader({"flags", "predicted suite s", "real suite s", "gap",
+               "reps measured"});
+  std::vector<double> Predicted;
+  std::vector<double> Real;
+  for (const CompilerOptions &Options : Candidates) {
+    // Cheap path: run only the representatives under these flags.
+    std::vector<double> RepTimes;
+    for (std::size_t Local : R.Selection.Representatives)
+      RepTimes.push_back(timeUnder(Db.codelet(R.Kept[Local]), M, Options));
+    std::vector<double> PerCodelet = R.Model.predict(RepTimes);
+    double Pred = 0.0;
+    for (std::size_t I = 0; I < R.Kept.size(); ++I)
+      Pred += PerCodelet[I] *
+              static_cast<double>(Db.codelet(R.Kept[I]).totalInvocations());
+
+    // Expensive path (ground truth): run everything.
+    double Truth = fullSuiteSeconds(Db, R.Kept, M, Options);
+
+    Predicted.push_back(Pred);
+    Real.push_back(Truth);
+    T.addRow({Options.name(), formatDouble(Pred, 1), formatDouble(Truth, 1),
+              formatPercent(percentError(Pred, Truth)),
+              std::to_string(R.Selection.Representatives.size())});
+  }
+  T.print(std::cout);
+
+  std::size_t PredBest = argMin(Predicted);
+  std::size_t RealBest = argMin(Real);
+  std::cout << "\nreduced-suite choice: " << Candidates[PredBest].name()
+            << "\nfull-suite choice:    " << Candidates[RealBest].name()
+            << "\nagreement: " << (PredBest == RealBest ? "yes" : "NO")
+            << "\n\nWhat the flags cost (real suite time vs -O3): ";
+  for (std::size_t I = 1; I < Real.size(); ++I)
+    std::cout << Candidates[I].name() << " x"
+              << formatDouble(Real[I] / Real[0], 2) << "  ";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- examples/quickstart.cpp - Five steps in fifty lines ----------------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// The shortest end-to-end tour of the library: take a benchmark suite,
+// profile it on the reference machine, cluster the codelets, extract
+// representatives, and predict every codelet's execution time on three
+// target machines from the representatives alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/core/Pipeline.h"
+#include "fgbs/suites/Suites.h"
+#include "fgbs/support/TextTable.h"
+
+#include <iostream>
+
+using namespace fgbs;
+
+int main() {
+  // The suite to reduce and the machines of paper Table 1.
+  Suite NR = makeNumericalRecipes();
+  MeasurementDatabase Db(NR, makeNehalem(), paperTargets());
+
+  // Steps C-E with the paper's defaults: Table 2 features, Ward
+  // clustering, Elbow-selected cluster count, medoid representatives.
+  Pipeline P(Db, PipelineConfig());
+  PipelineResult R = P.run();
+
+  std::cout << "Suite: " << NR.Name << "\n"
+            << "Codelets kept: " << R.Kept.size() << " of "
+            << Db.numCodelets() << "\n"
+            << "Elbow-selected clusters: " << R.ElbowK << "\n"
+            << "Representatives after ill-behaved filtering: "
+            << R.Selection.Representatives.size() << "\n\n";
+
+  TextTable Table;
+  Table.setHeader({"target", "median err", "avg err", "reduction",
+                   "invocation x", "clustering x"});
+  for (const TargetEvaluation &T : R.Targets)
+    Table.addRow({T.MachineName, formatPercent(T.MedianErrorPercent),
+                  formatPercent(T.AverageErrorPercent),
+                  formatFactor(T.Reduction.totalFactor()),
+                  formatFactor(T.Reduction.invocationFactor()),
+                  formatFactor(T.Reduction.clusteringFactor())});
+  Table.print(std::cout);
+
+  std::cout << "\nRepresentatives:\n";
+  for (std::size_t Local : R.Selection.Representatives)
+    std::cout << "  " << Db.codelet(R.Kept[Local]).Name << "\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+//===- fgbs/analysis/Report.cpp - Per-codelet analysis report -------------===//
+
+#include "fgbs/analysis/Report.h"
+
+#include "fgbs/compiler/Compiler.h"
+#include "fgbs/sim/Pipeline.h"
+#include "fgbs/support/TextTable.h"
+
+#include <map>
+#include <ostream>
+
+using namespace fgbs;
+
+void fgbs::printCodeletReport(std::ostream &OS, const Codelet &C,
+                              const Machine &M) {
+  OS << "=== " << C.Name << " (" << C.App << ") on " << M.Name << " ===\n";
+  if (!C.Pattern.empty())
+    OS << "pattern:    " << C.Pattern << "\n";
+  OS << "loop nest:  " << C.Nest.InnerTripCount << " inner x "
+     << C.Nest.OuterIterations << " outer iterations per invocation\n"
+     << "invocations: " << C.totalInvocations() << " (captured dataset scale "
+     << formatDouble(C.capturedDatasetScale(), 3) << ", average "
+     << formatDouble(C.averageDatasetScale(), 3) << ")\n"
+     << "footprint:  "
+     << formatDouble(static_cast<double>(C.footprintBytes()) / (1 << 20), 2)
+     << " MB, strides " << C.strideSummary() << "\n\n";
+
+  // --- Static loop analysis (MAQAO-like) --------------------------------
+  BinaryLoop Loop = compile(C, M, CompilationContext::InApplication);
+  ComputeBreakdown B = computeBound(Loop, M);
+
+  OS << "compiled loop (" << vectorizationTag(Loop) << ", "
+     << formatDouble(Loop.vectorizedPercent(), 0) << "% vectorized, unroll x"
+     << Loop.UnrollFactor << ", " << Loop.ElementsPerIter
+     << " elements/iteration, " << Loop.Body.size() << " instructions, "
+     << Loop.CodeBytes << " bytes, " << Loop.NumRegisters << " registers)\n";
+
+  std::map<std::string, unsigned> Mix;
+  for (const Inst &I : Loop.Body) {
+    std::string Key = std::string(opKindName(I.Kind)) + "." +
+                      precisionName(I.Prec) + (I.isVector() ? " (v)" : "");
+    ++Mix[Key];
+  }
+  TextTable MixTable;
+  MixTable.setHeader({"instruction", "count/iteration"});
+  for (const auto &[Key, Count] : Mix)
+    MixTable.addRow({Key, std::to_string(Count)});
+  MixTable.print(OS);
+
+  OS << "\npipeline bounds (cycles per body iteration, L1-resident):\n";
+  TextTable Bounds;
+  Bounds.setHeader({"bound", "cycles"});
+  Bounds.addRow({"max port pressure", formatDouble(B.MaxPortCycles, 2)});
+  Bounds.addRow({"issue", formatDouble(B.IssueCycles, 2)});
+  Bounds.addRow({"dependency chains", formatDouble(B.DepCycles, 2)});
+  Bounds.addRow({"divider/transcendental", formatDouble(B.DividerCycles, 2)});
+  Bounds.addRow({"combined compute bound", formatDouble(B.ComputeCycles, 2)});
+  Bounds.print(OS);
+  OS << "estimated IPC assuming L1 hits: "
+     << formatDouble(B.ipc(static_cast<double>(Loop.Body.size())), 2) << "\n";
+
+  // --- Memory streams ----------------------------------------------------
+  std::vector<MemoryStreamDesc> Streams = collectStreams(C);
+  std::vector<StreamBehavior> Behavior =
+      sampleMemoryBehaviorCached(Streams, M, C.Nest.totalIterations());
+  OS << "\nmemory streams (steady state):\n";
+  TextTable Mem;
+  std::vector<std::string> Header = {"stride B", "footprint MB", "kind"};
+  for (const CacheLevelConfig &L : M.CacheLevels)
+    Header.push_back(L.Name + " %");
+  Header.push_back("DRAM %");
+  Header.push_back("prefetch");
+  Mem.setHeader(Header);
+  for (std::size_t S = 0; S < Streams.size(); ++S) {
+    std::vector<std::string> Row = {
+        std::to_string(Streams[S].StrideBytes),
+        formatDouble(static_cast<double>(Streams[S].FootprintBytes) /
+                         (1 << 20),
+                     2),
+        Streams[S].IsStore ? "store" : "load"};
+    for (double Fraction : Behavior[S].ServedFraction)
+      Row.push_back(formatDouble(100.0 * Fraction, 1));
+    Row.push_back(Behavior[S].Prefetchable ? "yes" : "no");
+    Mem.addRow(Row);
+  }
+  Mem.print(OS);
+
+  // --- Dynamic profile (Likwid-like) ------------------------------------
+  Measurement Meas = measureInApp(C, M);
+  const PerfCounters &Ctr = Meas.Counters;
+  double T = Ctr.Seconds;
+  OS << "\ndynamic profile (per invocation):\n";
+  TextTable Dyn;
+  Dyn.setHeader({"metric", "value"});
+  Dyn.addRow({"time", formatDouble(T * 1e3, 3) + " ms"});
+  Dyn.addRow({"cycles", formatDouble(Ctr.Cycles / 1e6, 2) + " M"});
+  Dyn.addRow({"MFLOPS", formatDouble(Ctr.totalFlops() / T / 1e6, 0)});
+  Dyn.addRow({"IPC", formatDouble(Ctr.Uops / Ctr.Cycles, 2)});
+  Dyn.addRow({"L2 bandwidth",
+              formatDouble(Ctr.L2LinesIn * 64 / T / 1e6, 0) + " MB/s"});
+  Dyn.addRow({"memory bandwidth",
+              formatDouble(Ctr.MemLinesIn * 64 / T / 1e6, 0) + " MB/s"});
+  Dyn.addRow({"memory-bound share",
+              formatPercent(100.0 * Meas.MemCyclesPerIter /
+                            (Meas.MemCyclesPerIter +
+                             B.ComputeCycles /
+                                 static_cast<double>(Loop.ElementsPerIter)))});
+  Dyn.print(OS);
+  OS << "\n";
+}

@@ -1,0 +1,33 @@
+//===- fgbs/analysis/Report.h - Per-codelet analysis report ----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A human-readable per-codelet analysis report in the spirit of
+/// MAQAO's loop reports and Likwid's counter summaries: the compiled
+/// loop's instruction mix and vectorization, the pipeline bounds, the
+/// memory streams and where the hierarchy serves them, and the derived
+/// dynamic metrics.  Used by examples/analyze_codelet and handy when
+/// authoring new suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_ANALYSIS_REPORT_H
+#define FGBS_ANALYSIS_REPORT_H
+
+#include "fgbs/analysis/Profiler.h"
+
+#include <iosfwd>
+
+namespace fgbs {
+
+/// Prints a full analysis of \p C on \p M: static loop analysis,
+/// execution bounds, memory-stream classification, dynamic counters.
+void printCodeletReport(std::ostream &OS, const Codelet &C, const Machine &M);
+
+} // namespace fgbs
+
+#endif // FGBS_ANALYSIS_REPORT_H

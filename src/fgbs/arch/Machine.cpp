@@ -1,0 +1,148 @@
+//===- fgbs/arch/Machine.cpp - Machine descriptions ----------------------===//
+//
+// Parameter values are drawn from paper Table 1 (frequency, core count,
+// cache capacities, RAM) and from public microarchitecture references for
+// latencies and bandwidths.  Only the relative behaviour across machines is
+// load-bearing for the reproduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/arch/Machine.h"
+
+using namespace fgbs;
+
+Machine fgbs::makeNehalem() {
+  Machine M;
+  M.Name = "Nehalem";
+  M.Cpu = "L5609";
+  M.FrequencyGHz = 1.86;
+  M.Cores = 4;
+  M.RamGB = 8;
+  M.OutOfOrder = true;
+  M.IssueWidth = 4;
+  M.VectorBits = 128; // SSE4.2 (-xsse4.2).
+  M.NumFpRegisters = 16;
+  M.Timings = {/*FpAddLatency=*/3.0,
+               /*FpMulLatency=*/5.0,
+               /*FpDivLatencySP=*/14.0,
+               /*FpDivLatencyDP=*/22.0,
+               /*FpSqrtLatency=*/21.0,
+               /*FpExpCost=*/55.0,
+               /*IntAddLatency=*/1.0,
+               /*IntMulLatency=*/3.0,
+               /*VectorFpThroughputFactor=*/1.0,
+               /*VectorDpThroughputFactor=*/1.0};
+  M.CacheLevels = {
+      {"L1", 32 * 1024, 8, 64, 4.0, 16.0},
+      {"L2", 256 * 1024, 8, 64, 10.0, 12.0},
+      {"L3", 12ULL * 1024 * 1024, 16, 64, 40.0, 8.0},
+  };
+  M.MemLatencyCycles = 200.0;
+  M.MemBandwidthGBs = 8.0;
+  return M;
+}
+
+Machine fgbs::makeAtom() {
+  Machine M;
+  M.Name = "Atom";
+  M.Cpu = "D510";
+  M.FrequencyGHz = 1.66;
+  M.Cores = 2;
+  M.RamGB = 4;
+  M.OutOfOrder = false; // In-order dual issue.
+  M.IssueWidth = 2;
+  M.VectorBits = 128; // SSSE3, but FP SIMD is cracked (factors below).
+  M.NumFpRegisters = 16;
+  M.Timings = {/*FpAddLatency=*/5.0,
+               /*FpMulLatency=*/5.0,
+               /*FpDivLatencySP=*/31.0,
+               /*FpDivLatencyDP=*/60.0,
+               /*FpSqrtLatency=*/63.0,
+               /*FpExpCost=*/220.0,
+               /*IntAddLatency=*/1.0,
+               /*IntMulLatency=*/5.0,
+               /*VectorFpThroughputFactor=*/2.0,
+               /*VectorDpThroughputFactor=*/4.0};
+  M.CacheLevels = {
+      {"L1", 24 * 1024, 6, 64, 3.0, 8.0},
+      {"L2", 512 * 1024, 8, 64, 16.0, 6.0},
+  };
+  M.MemLatencyCycles = 180.0;
+  M.MemBandwidthGBs = 3.0;
+  return M;
+}
+
+Machine fgbs::makeCore2() {
+  Machine M;
+  M.Name = "Core 2";
+  M.Cpu = "E7500";
+  M.FrequencyGHz = 2.93;
+  M.Cores = 2;
+  M.RamGB = 4;
+  M.OutOfOrder = true;
+  M.IssueWidth = 4;
+  M.VectorBits = 128; // SSE3 (-O3 without -xsse4.2 still vectorizes).
+  M.NumFpRegisters = 16;
+  M.Timings = {/*FpAddLatency=*/3.0,
+               /*FpMulLatency=*/5.0,
+               /*FpDivLatencySP=*/18.0,
+               /*FpDivLatencyDP=*/32.0,
+               /*FpSqrtLatency=*/29.0,
+               /*FpExpCost=*/75.0,
+               /*IntAddLatency=*/1.0,
+               /*IntMulLatency=*/3.0,
+               /*VectorFpThroughputFactor=*/1.0,
+               /*VectorDpThroughputFactor=*/1.0};
+  // The E7500's 3 MB L2 is the last level: one serial thread sees all of
+  // it, but it is four times smaller than the reference's L3 (the paper's
+  // "cluster B" codelets are 1.34x slower on Core 2 because of this).
+  M.CacheLevels = {
+      {"L1", 32 * 1024, 8, 64, 3.0, 16.0},
+      {"L2", 3ULL * 1024 * 1024, 12, 64, 15.0, 10.0},
+  };
+  // Front-side-bus memory interface: high latency, modest bandwidth.
+  M.MemLatencyCycles = 280.0;
+  M.MemBandwidthGBs = 5.5;
+  return M;
+}
+
+Machine fgbs::makeSandyBridge() {
+  Machine M;
+  M.Name = "Sandy Bridge";
+  M.Cpu = "E31240";
+  M.FrequencyGHz = 3.30;
+  M.Cores = 4;
+  M.RamGB = 6;
+  M.OutOfOrder = true;
+  // Sandy Bridge's uop cache and wider back-end sustain more issue
+  // bandwidth than the P6-era cores.
+  M.IssueWidth = 5;
+  M.VectorBits = 128; // Compiled with -xsse4.2, so SSE, not AVX.
+  M.NumFpRegisters = 16;
+  M.Timings = {/*FpAddLatency=*/3.0,
+               /*FpMulLatency=*/5.0,
+               /*FpDivLatencySP=*/11.0,
+               /*FpDivLatencyDP=*/22.0,
+               /*FpSqrtLatency=*/21.0,
+               /*FpExpCost=*/50.0,
+               /*IntAddLatency=*/1.0,
+               /*IntMulLatency=*/3.0,
+               /*VectorFpThroughputFactor=*/1.0,
+               /*VectorDpThroughputFactor=*/1.0};
+  M.CacheLevels = {
+      {"L1", 32 * 1024, 8, 64, 4.0, 32.0},
+      {"L2", 256 * 1024, 8, 64, 12.0, 16.0},
+      {"L3", 8ULL * 1024 * 1024, 16, 64, 36.0, 10.0},
+  };
+  M.MemLatencyCycles = 190.0;
+  M.MemBandwidthGBs = 12.5;
+  return M;
+}
+
+std::vector<Machine> fgbs::paperMachines() {
+  return {makeNehalem(), makeAtom(), makeCore2(), makeSandyBridge()};
+}
+
+std::vector<Machine> fgbs::paperTargets() {
+  return {makeAtom(), makeCore2(), makeSandyBridge()};
+}

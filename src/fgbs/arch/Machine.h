@@ -1,0 +1,113 @@
+//===- fgbs/arch/Machine.h - Machine descriptions --------------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized machine descriptions standing in for the paper's four
+/// test architectures (Table 1): Nehalem L5609 (the reference), Atom D510,
+/// Core 2 E7500, and Sandy Bridge E31240.
+///
+/// A Machine bundles a core model (frequency, issue width, in/out-of-order,
+/// SIMD width, operation latencies) with a cache hierarchy and a memory
+/// interface.  The performance simulator (fgbs/sim) interprets compiled
+/// loops against these descriptions; only *relative* fidelity across the
+/// four machines matters for reproducing the paper (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_ARCH_MACHINE_H
+#define FGBS_ARCH_MACHINE_H
+
+#include "fgbs/isa/Isa.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fgbs {
+
+/// One level of the data-cache hierarchy.
+struct CacheLevelConfig {
+  std::string Name;           ///< "L1", "L2", "L3".
+  std::uint64_t SizeBytes;    ///< Capacity visible to one serial thread.
+  unsigned Associativity;     ///< Ways per set.
+  unsigned LineBytes;         ///< Cache-line size.
+  double LatencyCycles;       ///< Load-to-use latency.
+  double BandwidthBytesPerCycle; ///< Sustained bandwidth from this level.
+};
+
+/// Latency/throughput parameters of the execution core.
+struct CoreTimings {
+  double FpAddLatency;   ///< Cycles, scalar FP add/sub.
+  double FpMulLatency;   ///< Cycles, scalar FP multiply.
+  double FpDivLatencySP; ///< Cycles, SP divide (unpipelined).
+  double FpDivLatencyDP; ///< Cycles, DP divide (unpipelined).
+  double FpSqrtLatency;  ///< Cycles, sqrt (shares the divider).
+  double FpExpCost;      ///< Cycles, libm-style transcendental block.
+  double IntAddLatency;  ///< Cycles, integer ALU op.
+  double IntMulLatency;  ///< Cycles, integer multiply.
+  /// Extra throughput factor applied to *vector* FP operations.  1.0 on
+  /// cores with full-width SIMD execution; > 1 on Atom, whose 128-bit FP
+  /// ops are cracked into narrower uops.
+  double VectorFpThroughputFactor;
+  /// Same, for DP specifically (Atom's DP SIMD is weaker still).
+  double VectorDpThroughputFactor;
+};
+
+/// A complete machine description.
+struct Machine {
+  std::string Name;  ///< e.g. "Nehalem".
+  std::string Cpu;   ///< e.g. "L5609".
+  double FrequencyGHz;
+  unsigned Cores;
+  unsigned RamGB;
+
+  bool OutOfOrder;      ///< False for Atom (in-order issue).
+  unsigned IssueWidth;  ///< Decoded uops dispatched per cycle.
+  unsigned VectorBits;  ///< SIMD register width (128 for SSE-class ISAs).
+  unsigned NumFpRegisters; ///< Architected FP/SIMD register count.
+
+  CoreTimings Timings;
+  std::vector<CacheLevelConfig> CacheLevels; ///< Ordered L1 -> LLC.
+  double MemLatencyCycles;      ///< LLC-miss-to-DRAM latency.
+  double MemBandwidthGBs;       ///< Sustained single-thread DRAM bandwidth.
+
+  /// Cycles per second.
+  double hz() const { return FrequencyGHz * 1e9; }
+
+  /// SIMD lanes for \p Prec (1 when the machine cannot vectorize it).
+  unsigned vectorElems(Precision Prec) const {
+    return VectorBits / (8 * bytesPerElement(Prec));
+  }
+
+  /// DRAM bandwidth expressed in bytes per core cycle.
+  double memBandwidthBytesPerCycle() const {
+    return MemBandwidthGBs * 1e9 / hz();
+  }
+
+  /// Capacity of the last cache level (0 if the machine has no cache,
+  /// which no modeled machine does).
+  std::uint64_t lastLevelCacheBytes() const {
+    return CacheLevels.empty() ? 0 : CacheLevels.back().SizeBytes;
+  }
+};
+
+/// The paper's reference architecture (Table 1, column 1).
+Machine makeNehalem();
+/// Target architectures (Table 1, columns 2-4).
+Machine makeAtom();
+Machine makeCore2();
+Machine makeSandyBridge();
+
+/// All four machines, reference first.
+std::vector<Machine> paperMachines();
+
+/// The three target machines (everything but the reference).
+std::vector<Machine> paperTargets();
+
+} // namespace fgbs
+
+#endif // FGBS_ARCH_MACHINE_H

@@ -1,0 +1,193 @@
+//===- fgbs/cluster/Hierarchical.cpp - Agglomerative clustering -----------===//
+
+#include "fgbs/cluster/Hierarchical.h"
+
+#include "fgbs/support/Matrix.h"
+#include "fgbs/support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+using namespace fgbs;
+
+Dendrogram::Dendrogram(std::size_t NumLeaves, std::vector<MergeStep> Steps)
+    : Leaves(NumLeaves), Merges(std::move(Steps)) {
+  assert((Leaves == 0 && Merges.empty()) ||
+         Merges.size() == Leaves - 1 && "a dendrogram has N-1 merges");
+}
+
+Clustering Dendrogram::cut(unsigned K) const {
+  Clustering Result;
+  std::size_t N = Leaves;
+  assert(N > 0 && "cut of an empty dendrogram");
+  K = std::max(1u, std::min<unsigned>(K, static_cast<unsigned>(N)));
+  Result.K = K;
+
+  // Union-find over node ids (leaves then internal nodes).
+  std::vector<int> Parent(N + Merges.size());
+  std::iota(Parent.begin(), Parent.end(), 0);
+  auto Find = [&Parent](int X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+
+  std::size_t Applied = N - K;
+  for (std::size_t I = 0; I < Applied; ++I) {
+    int Node = static_cast<int>(N + I);
+    Parent[Find(Merges[I].Left)] = Node;
+    Parent[Find(Merges[I].Right)] = Node;
+  }
+
+  // Relabel roots to [0, K) in leaf order.
+  Result.Assignment.assign(N, -1);
+  std::vector<int> RootLabel(Parent.size(), -1);
+  int NextLabel = 0;
+  for (std::size_t Leaf = 0; Leaf < N; ++Leaf) {
+    int Root = Find(static_cast<int>(Leaf));
+    if (RootLabel[Root] < 0)
+      RootLabel[Root] = NextLabel++;
+    Result.Assignment[Leaf] = RootLabel[Root];
+  }
+  assert(NextLabel == static_cast<int>(K) && "cut produced wrong K");
+  return Result;
+}
+
+Dendrogram fgbs::hierarchicalCluster(const FeatureTable &Points,
+                                     Linkage Method) {
+  std::size_t N = Points.size();
+  assert(N > 0 && "clustering an empty table");
+  if (N == 1)
+    return Dendrogram(1, {});
+
+  // Pairwise distances: squared Euclidean for Ward (the Lance-Williams
+  // recurrence below is exact on squared distances), Euclidean otherwise.
+  bool Squared = Method == Linkage::Ward;
+  std::vector<std::vector<double>> Dist(N, std::vector<double>(N, 0.0));
+  for (std::size_t I = 0; I < N; ++I)
+    for (std::size_t J = I + 1; J < N; ++J) {
+      double D2 = squaredDistance(Points[I], Points[J]);
+      Dist[I][J] = Dist[J][I] = Squared ? D2 : std::sqrt(D2);
+    }
+
+  std::vector<bool> Active(N, true);
+  std::vector<unsigned> Size(N, 1);
+  std::vector<int> NodeId(N);
+  std::iota(NodeId.begin(), NodeId.end(), 0);
+
+  std::vector<MergeStep> Merges;
+  Merges.reserve(N - 1);
+
+  for (std::size_t Step = 0; Step + 1 < N; ++Step) {
+    // Find the closest active pair (ties break deterministically to the
+    // lexicographically smallest pair).
+    std::size_t BestI = 0;
+    std::size_t BestJ = 0;
+    double Best = std::numeric_limits<double>::infinity();
+    for (std::size_t I = 0; I < N; ++I) {
+      if (!Active[I])
+        continue;
+      for (std::size_t J = I + 1; J < N; ++J) {
+        if (!Active[J])
+          continue;
+        if (Dist[I][J] < Best) {
+          Best = Dist[I][J];
+          BestI = I;
+          BestJ = J;
+        }
+      }
+    }
+
+    double NI = Size[BestI];
+    double NJ = Size[BestJ];
+
+    // Lance-Williams update of the distances from the merged cluster
+    // (stored in slot BestI) to every other active cluster.
+    for (std::size_t K = 0; K < N; ++K) {
+      if (!Active[K] || K == BestI || K == BestJ)
+        continue;
+      double NK = Size[K];
+      double DIK = Dist[BestI][K];
+      double DJK = Dist[BestJ][K];
+      double DIJ = Dist[BestI][BestJ];
+      double Updated = 0.0;
+      switch (Method) {
+      case Linkage::Ward:
+        Updated = ((NI + NK) * DIK + (NJ + NK) * DJK - NK * DIJ) /
+                  (NI + NJ + NK);
+        break;
+      case Linkage::Single:
+        Updated = std::min(DIK, DJK);
+        break;
+      case Linkage::Complete:
+        Updated = std::max(DIK, DJK);
+        break;
+      case Linkage::Average:
+        Updated = (NI * DIK + NJ * DJK) / (NI + NJ);
+        break;
+      }
+      Dist[BestI][K] = Dist[K][BestI] = Updated;
+    }
+
+    double Height = Squared ? std::sqrt(std::max(0.0, Best)) : Best;
+    Merges.push_back({NodeId[BestI], NodeId[BestJ], Height,
+                      static_cast<unsigned>(NI + NJ)});
+    NodeId[BestI] = static_cast<int>(N + Step);
+    Size[BestI] = static_cast<unsigned>(NI + NJ);
+    Active[BestJ] = false;
+  }
+  return Dendrogram(N, std::move(Merges));
+}
+
+unsigned fgbs::elbowK(const FeatureTable &Points, const Dendrogram &Tree,
+                      unsigned MaxK, double Threshold) {
+  assert(Threshold > 0.0 && "elbow threshold must be positive");
+  std::size_t N = Points.size();
+  MaxK = std::min<unsigned>(MaxK, static_cast<unsigned>(N));
+  if (MaxK <= 1)
+    return 1;
+
+  double Tss = totalVariance(Points);
+  if (Tss <= 0.0)
+    return 1;
+
+  double Previous = Tss;
+  for (unsigned K = 2; K <= MaxK; ++K) {
+    double Wss = withinClusterVariance(Points, Tree.cut(K));
+    double Gain = Previous - Wss;
+    // Cut where the within-cluster variance stops improving
+    // significantly.
+    if (Gain < Threshold * Tss)
+      return K - 1;
+    Previous = Wss;
+  }
+  return MaxK;
+}
+
+Clustering fgbs::randomClustering(std::size_t NumPoints, unsigned K,
+                                  std::uint64_t Seed) {
+  assert(K >= 1 && K <= NumPoints && "infeasible random clustering");
+  Rng Generator(Seed);
+  Clustering Result;
+  Result.K = K;
+  Result.Assignment.assign(NumPoints, 0);
+
+  // Guarantee non-empty clusters: K distinct points seed the clusters,
+  // the rest draw uniformly.
+  std::vector<std::size_t> Seeds =
+      Generator.sampleWithoutReplacement(NumPoints, K);
+  std::vector<bool> IsSeed(NumPoints, false);
+  for (unsigned Label = 0; Label < K; ++Label) {
+    Result.Assignment[Seeds[Label]] = static_cast<int>(Label);
+    IsSeed[Seeds[Label]] = true;
+  }
+  for (std::size_t I = 0; I < NumPoints; ++I)
+    if (!IsSeed[I])
+      Result.Assignment[I] = static_cast<int>(Generator.below(K));
+  return Result;
+}

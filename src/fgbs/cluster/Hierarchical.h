@@ -1,0 +1,76 @@
+//===- fgbs/cluster/Hierarchical.h - Agglomerative clustering --*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Agglomerative hierarchical clustering with Ward's criterion (the
+/// paper's choice, section 3.3), plus single/complete/average linkage for
+/// the ablation benches.  The merge history is recorded as a dendrogram
+/// that can be cut at any K; the Elbow method (Thorndike 1953) selects K
+/// automatically by cutting when the within-cluster variance stops
+/// improving significantly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CLUSTER_HIERARCHICAL_H
+#define FGBS_CLUSTER_HIERARCHICAL_H
+
+#include "fgbs/cluster/Cluster.h"
+
+#include <cstdint>
+
+namespace fgbs {
+
+/// Linkage criteria.  Ward is the paper's; the others exist for the
+/// ablation study.
+enum class Linkage { Ward, Single, Complete, Average };
+
+/// One agglomerative merge.  Node ids: 0..N-1 are leaves; merge i creates
+/// node N+i.
+struct MergeStep {
+  int Left;
+  int Right;
+  double Height; ///< Linkage distance at which the merge happened.
+  unsigned Size; ///< Leaves under the merged node.
+};
+
+/// The recorded merge history of a hierarchical clustering.
+class Dendrogram {
+public:
+  Dendrogram(std::size_t NumLeaves, std::vector<MergeStep> Merges);
+
+  std::size_t numLeaves() const { return Leaves; }
+  const std::vector<MergeStep> &merges() const { return Merges; }
+
+  /// Cuts the tree into \p K clusters by undoing the last K-1 merges.
+  /// Cluster ids are assigned in leaf order (cluster 0 contains leaf 0).
+  /// \p K is clamped to [1, numLeaves()].
+  Clustering cut(unsigned K) const;
+
+private:
+  std::size_t Leaves;
+  std::vector<MergeStep> Merges;
+};
+
+/// Builds the dendrogram of \p Points under \p Method, using Euclidean
+/// distances (Lance-Williams updates).  Requires at least one point.
+Dendrogram hierarchicalCluster(const FeatureTable &Points,
+                               Linkage Method = Linkage::Ward);
+
+/// The Elbow method: the smallest K whose marginal within-cluster
+/// variance improvement falls below \p Threshold x total variance,
+/// searching K in [1, MaxK].
+unsigned elbowK(const FeatureTable &Points, const Dendrogram &Tree,
+                unsigned MaxK, double Threshold = 0.005);
+
+/// Generates a uniformly random partition of \p NumPoints points into
+/// exactly \p K non-empty clusters (for the Figure 7 baseline).
+Clustering randomClustering(std::size_t NumPoints, unsigned K,
+                            std::uint64_t Seed);
+
+} // namespace fgbs
+
+#endif // FGBS_CLUSTER_HIERARCHICAL_H

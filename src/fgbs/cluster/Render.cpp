@@ -1,0 +1,71 @@
+//===- fgbs/cluster/Render.cpp - ASCII dendrogram rendering ---------------===//
+
+#include "fgbs/cluster/Render.h"
+
+#include "fgbs/support/TextTable.h"
+
+#include <cassert>
+
+using namespace fgbs;
+
+namespace {
+
+/// Recursive renderer over the merge tree.
+class Renderer {
+public:
+  Renderer(const Dendrogram &Tree, const std::vector<std::string> &Labels,
+           unsigned CutK)
+      : Tree(Tree), Labels(Labels) {
+    std::size_t N = Tree.numLeaves();
+    // A cut at K undoes the last K-1 merges; those merge nodes are the
+    // ones the dashed line crosses.
+    FirstUndone = CutK > 1 ? Tree.merges().size() - (CutK - 1)
+                           : Tree.merges().size();
+    (void)N;
+  }
+
+  std::string render() {
+    if (Tree.numLeaves() == 0)
+      return "";
+    int Root = Tree.merges().empty()
+                   ? 0
+                   : static_cast<int>(Tree.numLeaves() +
+                                      Tree.merges().size() - 1);
+    renderNode(Root, "", "");
+    return std::move(Out);
+  }
+
+private:
+  void renderNode(int Node, const std::string &Prefix,
+                  const std::string &ChildPrefix) {
+    auto N = static_cast<int>(Tree.numLeaves());
+    if (Node < N) {
+      assert(static_cast<std::size_t>(Node) < Labels.size() &&
+             "missing leaf label");
+      Out += Prefix + Labels[static_cast<std::size_t>(Node)] + "\n";
+      return;
+    }
+    std::size_t MergeIdx = static_cast<std::size_t>(Node - N);
+    const MergeStep &Step = Tree.merges()[MergeIdx];
+    Out += Prefix + "+ h=" + formatDouble(Step.Height, 2);
+    if (MergeIdx >= FirstUndone)
+      Out += "   <-- cut";
+    Out += "\n";
+    renderNode(Step.Left, ChildPrefix + "|-- ", ChildPrefix + "|   ");
+    renderNode(Step.Right, ChildPrefix + "`-- ", ChildPrefix + "    ");
+  }
+
+  const Dendrogram &Tree;
+  const std::vector<std::string> &Labels;
+  std::size_t FirstUndone;
+  std::string Out;
+};
+
+} // namespace
+
+std::string fgbs::renderDendrogram(const Dendrogram &Tree,
+                                   const std::vector<std::string> &Labels,
+                                   unsigned CutK) {
+  assert(Labels.size() == Tree.numLeaves() && "one label per leaf");
+  return Renderer(Tree, Labels, CutK).render();
+}

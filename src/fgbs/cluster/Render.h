@@ -1,0 +1,36 @@
+//===- fgbs/cluster/Render.h - ASCII dendrogram rendering ------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text rendering of a dendrogram, mirroring the tree the paper prints
+/// alongside Table 3.  Leaves carry caller-provided labels; internal
+/// nodes show the merge height, so the cut producing any K is visible at
+/// a glance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CLUSTER_RENDER_H
+#define FGBS_CLUSTER_RENDER_H
+
+#include "fgbs/cluster/Hierarchical.h"
+
+#include <string>
+#include <vector>
+
+namespace fgbs {
+
+/// Renders \p Tree with one line per node.  \p Labels must have one
+/// entry per leaf.  If \p CutK > 1, the line of every merge undone by a
+/// cut at \p CutK is marked with "<-- cut", visualizing the dashed line
+/// of the paper's Table 3 dendrogram.
+std::string renderDendrogram(const Dendrogram &Tree,
+                             const std::vector<std::string> &Labels,
+                             unsigned CutK = 0);
+
+} // namespace fgbs
+
+#endif // FGBS_CLUSTER_RENDER_H

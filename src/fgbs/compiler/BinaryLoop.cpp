@@ -1,0 +1,44 @@
+//===- fgbs/compiler/BinaryLoop.cpp - Compiled loop representation --------===//
+
+#include "fgbs/compiler/BinaryLoop.h"
+
+using namespace fgbs;
+
+double BinaryLoop::vectorizedPercent() const {
+  unsigned Vector = 0;
+  unsigned Total = 0;
+  for (const Inst &I : Body) {
+    if (I.LoopOverhead)
+      continue;
+    OpClass Class = classify(I.Kind, I.Prec);
+    if (Class == OpClass::LoadClass || Class == OpClass::StoreClass ||
+        Class == OpClass::ControlClass)
+      continue;
+    ++Total;
+    if (I.isVector())
+      ++Vector;
+  }
+  return Total == 0 ? 0.0 : 100.0 * Vector / Total;
+}
+
+bool BinaryLoop::anyVector() const {
+  for (const Inst &I : Body)
+    if (I.isVector())
+      return true;
+  return false;
+}
+
+std::uint64_t BinaryLoop::flopsPerIter() const {
+  std::uint64_t Total = 0;
+  for (const Inst &I : Body)
+    Total += I.flops();
+  return Total;
+}
+
+unsigned BinaryLoop::countKind(OpKind Kind) const {
+  unsigned Count = 0;
+  for (const Inst &I : Body)
+    if (I.Kind == Kind)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,101 @@
+//===- fgbs/compiler/BinaryLoop.h - Compiled loop representation -*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled ("binary") form of a codelet's innermost loop: the unit
+/// the MAQAO-like static analyzer inspects and the pipeline model times.
+///
+/// A BinaryLoop describes one execution of the *unrolled, vectorized* loop
+/// body: the instruction list, how many original elements that body
+/// processes, the loop-carried dependency chain, and per-class
+/// vectorization bookkeeping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_COMPILER_BINARYLOOP_H
+#define FGBS_COMPILER_BINARYLOOP_H
+
+#include "fgbs/isa/Isa.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fgbs {
+
+/// Number of OpClass values (fgbs/isa/Isa.h).
+inline constexpr unsigned NumOpClasses = 8;
+
+/// Vectorization bookkeeping for one operation class.
+struct OpClassStats {
+  unsigned VectorOps = 0;
+  unsigned ScalarOps = 0;
+
+  unsigned total() const { return VectorOps + ScalarOps; }
+
+  /// Vectorization ratio in percent (0 when the class is absent), the
+  /// MAQAO "Vectorization ratio" features.
+  double ratioPercent() const {
+    unsigned T = total();
+    return T == 0 ? 0.0 : 100.0 * VectorOps / T;
+  }
+};
+
+/// The compiled innermost loop of a codelet on a specific machine.
+struct BinaryLoop {
+  /// Instructions of one unrolled body execution.
+  std::vector<Inst> Body;
+
+  /// Original (element) iterations consumed per body execution
+  /// (= unroll factor x vector factor for a fully vectorized loop).
+  unsigned ElementsPerIter = 1;
+
+  /// Unroll factor chosen by the compiler.
+  unsigned UnrollFactor = 1;
+
+  /// Loop-carried dependency-chain steps executed per body execution,
+  /// flattened across the unroll factor.  An empty vector means the body
+  /// carries no loop dependency (pure streaming).
+  std::vector<Inst> CritChainOps;
+
+  /// Number of independent interleaved chains (partial accumulators).
+  unsigned ChainParallelism = 1;
+
+  /// Estimated architectural registers used.
+  unsigned NumRegisters = 0;
+
+  /// Estimated loop-body code size in bytes (a MAQAO static feature).
+  unsigned CodeBytes = 0;
+
+  /// Vectorization bookkeeping per operation class.
+  std::array<OpClassStats, NumOpClasses> ClassStats{};
+
+  OpClassStats &statsFor(OpClass Class) {
+    return ClassStats[static_cast<unsigned>(Class)];
+  }
+  const OpClassStats &statsFor(OpClass Class) const {
+    return ClassStats[static_cast<unsigned>(Class)];
+  }
+
+  /// Fraction (percent) of arithmetic (non-memory, non-control)
+  /// instructions that are vector instructions: the "Vec. %" column of
+  /// paper Table 3.
+  double vectorizedPercent() const;
+
+  /// True if any instruction is a vector instruction.
+  bool anyVector() const;
+
+  /// Total FP operations per body execution.
+  std::uint64_t flopsPerIter() const;
+
+  /// Count of instructions with kind \p Kind.
+  unsigned countKind(OpKind Kind) const;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_COMPILER_BINARYLOOP_H

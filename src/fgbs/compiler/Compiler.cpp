@@ -1,0 +1,319 @@
+//===- fgbs/compiler/Compiler.cpp - Codelet lowering ----------------------===//
+
+#include "fgbs/compiler/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fgbs;
+
+/// Widest element precision appearing in \p S (drives the vector factor).
+static Precision widestPrecision(const Stmt &S) {
+  Precision Widest = Precision::SP;
+  unsigned Best = 0;
+  auto Consider = [&](Precision P) {
+    unsigned B = bytesPerElement(P);
+    if (B > Best) {
+      Best = B;
+      Widest = P;
+    }
+  };
+  visitExpr(*S.Rhs, [&Consider](const Expr &E) { Consider(E.Prec); });
+  if (S.Kind != StmtKind::Reduction)
+    Consider(S.Rhs->Prec);
+  return Widest;
+}
+
+/// True when the statement mixes FP element widths (the "MP" codelets of
+/// Table 3): the compiler must insert width-conversion operations.
+static bool mixesPrecision(const Stmt &S) {
+  bool SawSp = false;
+  bool SawDp = false;
+  visitExpr(*S.Rhs, [&](const Expr &E) {
+    if (E.Prec == Precision::SP)
+      SawSp = true;
+    if (E.Prec == Precision::DP)
+      SawDp = true;
+  });
+  return SawSp && SawDp;
+}
+
+/// True if the access pattern is one SSE-class vector units handle
+/// without gathers: contiguous (either direction), loop-invariant, or a
+/// contiguous stencil neighborhood.
+static bool isVectorizableAccess(const Access &Ref) {
+  switch (Ref.Stride) {
+  case StrideClass::Zero:
+  case StrideClass::Unit:
+  case StrideClass::Stencil:
+    return true;
+  case StrideClass::NegUnit:
+    // Descending walks need reversal shuffles; the modeled -O3 compiler
+    // (like ICC 12 on SSE) keeps them scalar.
+    return false;
+  case StrideClass::Small:
+  case StrideClass::Lda:
+    return false;
+  }
+  assert(false && "unknown stride class");
+  return false;
+}
+
+std::string CompilerOptions::name() const {
+  std::string Name = "-O3";
+  if (!Vectorize)
+    Name += " -no-vec";
+  if (!ReassociateFp)
+    Name += " -fp-model=strict";
+  if (UnrollFactor != CompilerOptions().UnrollFactor)
+    Name += " -unroll=" + std::to_string(UnrollFactor);
+  return Name;
+}
+
+VectorizationDecision fgbs::decideVectorization(const Codelet &C,
+                                                const Stmt &S,
+                                                const Machine &M,
+                                                CompilationContext Context,
+                                                const CompilerOptions &Options) {
+  VectorizationDecision D;
+
+  if (!Options.Vectorize) {
+    D.Reason = "vectorization disabled";
+    return D;
+  }
+
+  if (S.Kind == StmtKind::Recurrence) {
+    D.Reason = "loop-carried recurrence";
+    return D;
+  }
+
+  // Vectorizing an FP reduction reorders the additions; without the
+  // fast-math reassociation license the loop must stay scalar.
+  if (S.Kind == StmtKind::Reduction && isFloatingPoint(S.Rhs->Prec) &&
+      !Options.ReassociateFp) {
+    D.Reason = "strict FP semantics forbid reduction reassociation";
+    return D;
+  }
+
+  // The second ill-behaved category: heuristics depending on surrounding
+  // code fail once the codelet is outlined (section 3.4).
+  if (Context == CompilationContext::Standalone &&
+      C.Traits.CompilationContextSensitive) {
+    D.Reason = "profitability heuristic fails without surrounding code";
+    return D;
+  }
+
+  bool AllVectorizable = true;
+  visitExpr(*S.Rhs, [&AllVectorizable](const Expr &E) {
+    if (E.Kind == ExprKind::Load && !isVectorizableAccess(E.Ref))
+      AllVectorizable = false;
+  });
+  if (S.Kind == StmtKind::Store && !isVectorizableAccess(S.Target))
+    AllVectorizable = false;
+  if (!AllVectorizable) {
+    D.Reason = "non-contiguous access";
+    return D;
+  }
+
+  unsigned VF = M.vectorElems(widestPrecision(S));
+  if (VF <= 1) {
+    D.Reason = "no SIMD lanes for this element width";
+    return D;
+  }
+
+  D.Vectorized = true;
+  D.VectorFactor = VF;
+  return D;
+}
+
+namespace {
+
+/// Accumulates instructions into a BinaryLoop during lowering.
+class Emitter {
+public:
+  explicit Emitter(BinaryLoop &Loop) : Loop(Loop) {}
+
+  void emit(OpKind Kind, Precision Prec, unsigned VecElems,
+            bool LoopOverhead = false) {
+    Inst I{Kind, Prec, VecElems, LoopOverhead};
+    Loop.Body.push_back(I);
+    OpClassStats &Stats = Loop.statsFor(classify(Kind, Prec));
+    if (I.isVector())
+      ++Stats.VectorOps;
+    else
+      ++Stats.ScalarOps;
+  }
+
+  /// Lowers an expression tree; returns nothing, side effect is emission.
+  void lowerExpr(const Expr &E, unsigned VecElems) {
+    switch (E.Kind) {
+    case ExprKind::Constant:
+      return; // Register resident: no instruction per iteration.
+    case ExprKind::Load:
+      for (unsigned P = 0; P < E.Ref.PointsPerIter; ++P)
+        emit(OpKind::Load, E.Prec, VecElems);
+      return;
+    case ExprKind::Binary:
+      lowerExpr(*E.Lhs, VecElems);
+      lowerExpr(*E.Rhs, VecElems);
+      emit(binOpKind(E), E.Prec, VecElems);
+      return;
+    case ExprKind::Unary:
+      lowerExpr(*E.Lhs, VecElems);
+      emit(unOpKind(E.Un), E.Prec, VecElems);
+      return;
+    }
+    assert(false && "unknown expression kind");
+  }
+
+  static OpKind binOpKind(const Expr &E) {
+    assert(E.Kind == ExprKind::Binary && "not a binary node");
+    bool Fp = isFloatingPoint(E.Prec);
+    switch (E.Bin) {
+    case BinOp::Add:
+    case BinOp::Sub:
+      return Fp ? OpKind::FpAdd : OpKind::IntAdd;
+    case BinOp::Mul:
+      return Fp ? OpKind::FpMul : OpKind::IntMul;
+    case BinOp::Div:
+      // Integer division is rare in the modeled suites; it shares the
+      // FP divider on these cores.
+      return OpKind::FpDiv;
+    }
+    assert(false && "unknown binary operator");
+    return OpKind::FpAdd;
+  }
+
+  static OpKind unOpKind(UnOp Op) {
+    switch (Op) {
+    case UnOp::Sqrt:
+      return OpKind::FpSqrt;
+    case UnOp::Exp:
+      return OpKind::FpExp;
+    case UnOp::Abs:
+      return OpKind::FpAbs;
+    }
+    assert(false && "unknown unary operator");
+    return OpKind::FpAbs;
+  }
+
+private:
+  BinaryLoop &Loop;
+};
+
+} // namespace
+
+/// Collects the arithmetic operations on the recurrence's critical path:
+/// every arithmetic node plus the recurrent load's latency contribution.
+static void collectRecurrenceChain(const Stmt &S, std::vector<Inst> &Chain) {
+  // The chain re-enters through a load of the previous element.
+  Chain.push_back({OpKind::Load, S.Rhs->Prec, 1});
+  visitExpr(*S.Rhs, [&Chain](const Expr &E) {
+    if (E.Kind == ExprKind::Binary)
+      Chain.push_back({Emitter::binOpKind(E), E.Prec, 1});
+    else if (E.Kind == ExprKind::Unary)
+      Chain.push_back({Emitter::unOpKind(E.Un), E.Prec, 1});
+  });
+}
+
+BinaryLoop fgbs::compile(const Codelet &C, const Machine &M,
+                         CompilationContext Context,
+                         const CompilerOptions &Options) {
+  assert(!C.Body.empty() && "cannot compile an empty codelet");
+  BinaryLoop Loop;
+  Emitter E(Loop);
+
+  // Per-statement vectorization verdicts.
+  std::vector<VectorizationDecision> Decisions;
+  Decisions.reserve(C.Body.size());
+  unsigned LoopVF = 1;
+  for (const Stmt &S : C.Body) {
+    Decisions.push_back(decideVectorization(C, S, M, Context, Options));
+    LoopVF = std::max(LoopVF, Decisions.back().VectorFactor);
+  }
+
+  // Unroll factor covering U * LoopVF elements per body execution
+  // (-O3 defaults to 4).
+  const unsigned Unroll = std::clamp(Options.UnrollFactor, 1u, 8u);
+  Loop.UnrollFactor = Unroll;
+  Loop.ElementsPerIter = Unroll * LoopVF;
+
+  unsigned Accumulators = 0;
+  for (std::size_t SI = 0; SI < C.Body.size(); ++SI) {
+    const Stmt &S = C.Body[SI];
+    const VectorizationDecision &D = Decisions[SI];
+    unsigned VF = D.Vectorized ? D.VectorFactor : 1;
+    // A statement running at VF elements per op needs LoopVF / VF copies
+    // per unroll step to keep pace with the widest statement.
+    unsigned CopiesPerUnroll = std::max(1u, LoopVF / VF);
+    unsigned Copies = Unroll * CopiesPerUnroll;
+    bool Mixed = mixesPrecision(S);
+
+    for (unsigned Copy = 0; Copy < Copies; ++Copy) {
+      E.lowerExpr(*S.Rhs, VF);
+      // Width-conversion overhead for mixed-precision statements
+      // (cvtps2pd-style unpacks); scalar moves, one per copy.
+      if (Mixed)
+        E.emit(OpKind::MoveReg, Precision::SP, 1);
+      switch (S.Kind) {
+      case StmtKind::Store:
+        E.emit(OpKind::Store, S.Rhs->Prec, VF);
+        break;
+      case StmtKind::Reduction: {
+        OpKind Combine = isFloatingPoint(S.Rhs->Prec)
+                             ? (S.ReduceOp == BinOp::Mul ? OpKind::FpMul
+                                                         : OpKind::FpAdd)
+                             : OpKind::IntAdd;
+        E.emit(Combine, S.Rhs->Prec, VF);
+        // With reassociation each unrolled copy owns a private
+        // accumulator, so the chain steps interleave across `Copies`
+        // independent chains; strict FP keeps one serial accumulator.
+        Loop.CritChainOps.push_back({Combine, S.Rhs->Prec, VF});
+        break;
+      }
+      case StmtKind::Recurrence:
+        E.emit(OpKind::Store, S.Rhs->Prec, VF);
+        collectRecurrenceChain(S, Loop.CritChainOps);
+        break;
+      }
+    }
+
+    if (S.Kind == StmtKind::Reduction) {
+      bool Private =
+          Options.ReassociateFp || !isFloatingPoint(S.Rhs->Prec);
+      Accumulators = std::max(Accumulators, Private ? Copies : 1u);
+    }
+    if (S.Kind == StmtKind::Recurrence)
+      // A recurrence serializes everything: a single chain.
+      Loop.ChainParallelism = 1;
+  }
+
+  bool HasRecurrence = false;
+  for (const Stmt &S : C.Body)
+    HasRecurrence |= S.Kind == StmtKind::Recurrence;
+  if (!HasRecurrence && Accumulators > 0)
+    Loop.ChainParallelism = Accumulators;
+
+  // Loop overhead: induction increment, exit compare, back-edge branch.
+  E.emit(OpKind::IntAdd, Precision::I64, 1, /*LoopOverhead=*/true);
+  E.emit(OpKind::Compare, Precision::I64, 1, /*LoopOverhead=*/true);
+  E.emit(OpKind::Branch, Precision::I64, 1, /*LoopOverhead=*/true);
+
+  // Register estimate: base pointers, one temp per statement, private
+  // accumulators, induction + scratch; clamped to the architected count.
+  unsigned Registers = static_cast<unsigned>(C.Arrays.size()) +
+                       2 * static_cast<unsigned>(C.Body.size()) +
+                       Accumulators + 2;
+  Loop.NumRegisters = std::min(Registers, M.NumFpRegisters);
+
+  // x86-64 SSE instructions average out near 5 bytes.
+  Loop.CodeBytes = static_cast<unsigned>(Loop.Body.size()) * 5;
+
+  return Loop;
+}
+
+std::string fgbs::vectorizationTag(const BinaryLoop &Loop) {
+  if (!Loop.anyVector())
+    return "S";
+  return Loop.vectorizedPercent() >= 99.5 ? "V" : "V + S";
+}

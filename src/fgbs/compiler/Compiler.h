@@ -1,0 +1,112 @@
+//===- fgbs/compiler/Compiler.h - Codelet lowering --------------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-compiler: lowers a codelet's statement trees to a BinaryLoop
+/// for a given machine, standing in for "Intel compiler 12.1 at -O3".
+///
+/// The lowering performs:
+///  - dependence-based vectorization legality (recurrences stay scalar,
+///    reductions vectorize with partial accumulators, stores vectorize
+///    when every access is contiguous or invariant);
+///  - ISA-driven vector-width selection (SSE-class 128-bit on all four
+///    paper machines);
+///  - unrolling with accumulator privatization;
+///  - loop-overhead instruction insertion (induction, compare, branch);
+///  - a compilation-context model: codelets flagged
+///    CompilationContextSensitive lose vectorization when compiled
+///    standalone (the paper's second ill-behaved category: "codelets
+///    which are compiled differently inside and outside the
+///    application").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_COMPILER_COMPILER_H
+#define FGBS_COMPILER_COMPILER_H
+
+#include "fgbs/arch/Machine.h"
+#include "fgbs/compiler/BinaryLoop.h"
+#include "fgbs/dsl/Codelet.h"
+
+namespace fgbs {
+
+/// Where a codelet is being compiled.  CF-extracted microbenchmarks lose
+/// the code surrounding the hotspot, which can change the optimizer's
+/// decisions (paper section 3.4).
+enum class CompilationContext {
+  InApplication, ///< Hotspot compiled inside the original program.
+  Standalone,    ///< Extracted microbenchmark wrapper.
+};
+
+/// Optimizer settings, the moral equivalent of the paper's compiler
+/// flags ("-O3 -xsse4.2" on Nehalem/Sandy Bridge, "-O3" elsewhere).
+/// The defaults model ICC at -O3.  The paper's conclusion proposes
+/// reusing the reduced suite for compiler comparison and auto-tuning;
+/// examples/compiler_tuning.cpp does exactly that over these knobs.
+struct CompilerOptions {
+  /// Master vectorization switch (-no-vec when false).
+  bool Vectorize = true;
+  /// Loop unroll factor, clamped to [1, 8] (-unroll=N).
+  unsigned UnrollFactor = 4;
+  /// Allow FP reassociation (fast-math): vectorized reductions and
+  /// private partial accumulators.  When false, FP reductions stay
+  /// scalar with a single serial accumulator (-fp-model strict).
+  bool ReassociateFp = true;
+
+  /// The default -O3 configuration.
+  static CompilerOptions o3() { return CompilerOptions(); }
+  /// Vectorization disabled.
+  static CompilerOptions noVec() {
+    CompilerOptions O;
+    O.Vectorize = false;
+    return O;
+  }
+  /// Strict FP semantics (no reassociation).
+  static CompilerOptions strictFp() {
+    CompilerOptions O;
+    O.ReassociateFp = false;
+    return O;
+  }
+  /// No unrolling.
+  static CompilerOptions noUnroll() {
+    CompilerOptions O;
+    O.UnrollFactor = 1;
+    return O;
+  }
+
+  /// A short flag-like name ("-O3", "-O3 -no-vec", ...).
+  std::string name() const;
+};
+
+/// Vectorization decision for one statement.
+struct VectorizationDecision {
+  bool Vectorized = false;
+  /// Elements per vector operation (1 when scalar).
+  unsigned VectorFactor = 1;
+  /// Why vectorization was rejected (empty if vectorized).
+  const char *Reason = "";
+};
+
+/// Returns the vectorizer's verdict for \p S of codelet \p C on \p M
+/// compiled in \p Context under \p Options.  Exposed for unit testing.
+VectorizationDecision decideVectorization(const Codelet &C, const Stmt &S,
+                                          const Machine &M,
+                                          CompilationContext Context,
+                                          const CompilerOptions &Options = {});
+
+/// Compiles \p C for \p M in \p Context under \p Options.
+BinaryLoop compile(const Codelet &C, const Machine &M,
+                   CompilationContext Context,
+                   const CompilerOptions &Options = {});
+
+/// A short "V" / "S" / "V + S" tag summarizing the compiled loop, like
+/// Table 3's "Vec." column.
+std::string vectorizationTag(const BinaryLoop &Loop);
+
+} // namespace fgbs
+
+#endif // FGBS_COMPILER_COMPILER_H

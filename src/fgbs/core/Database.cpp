@@ -1,0 +1,47 @@
+//===- fgbs/core/Database.cpp - Measurement database ----------------------===//
+
+#include "fgbs/core/Database.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace fgbs;
+
+MeasurementDatabase::MeasurementDatabase(const Suite &S, Machine Ref,
+                                         std::vector<Machine> Tgts,
+                                         const TimingPolicy &Policy)
+    : TheSuite(&S), Reference(std::move(Ref)), Targets(std::move(Tgts)) {
+  Profiles = profileSuite(S, Reference);
+
+  std::vector<const Codelet *> Codelets = S.allCodelets();
+  assert(Codelets.size() == Profiles.size() && "profile count mismatch");
+
+  StandaloneOnRef.reserve(Codelets.size());
+  for (const Codelet *C : Codelets)
+    StandaloneOnRef.push_back(measureStandalone(*C, Reference, Policy));
+
+  RealTarget.resize(Targets.size());
+  StandaloneOnTarget.resize(Targets.size());
+  for (std::size_t T = 0; T < Targets.size(); ++T) {
+    RealTarget[T].reserve(Codelets.size());
+    StandaloneOnTarget[T].reserve(Codelets.size());
+    for (const Codelet *C : Codelets) {
+      RealTarget[T].push_back(measureInApp(*C, Targets[T]));
+      StandaloneOnTarget[T].push_back(
+          measureStandalone(*C, Targets[T], Policy));
+    }
+  }
+}
+
+std::vector<std::size_t> MeasurementDatabase::keptCodelets() const {
+  std::vector<std::size_t> Kept;
+  for (std::size_t I = 0; I < Profiles.size(); ++I)
+    if (!Profiles[I].Discarded)
+      Kept.push_back(I);
+  return Kept;
+}
+
+bool MeasurementDatabase::isWellBehavedOnRef(std::size_t Codelet) const {
+  return isWellBehaved(StandaloneOnRef[Codelet],
+                       Profiles[Codelet].InApp.MeasuredSeconds);
+}

@@ -1,0 +1,99 @@
+//===- fgbs/core/Database.h - Measurement database --------------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement database: every simulated measurement a study needs,
+/// computed once and cached.
+///
+/// For each codelet it holds the reference profile (step B), the "real"
+/// in-application times on every target (the ground truth the paper
+/// compares predictions against), and the standalone microbenchmark
+/// measurements on every machine (what step D/E actually run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_DATABASE_H
+#define FGBS_CORE_DATABASE_H
+
+#include "fgbs/analysis/Profiler.h"
+#include "fgbs/extract/Extraction.h"
+
+#include <vector>
+
+namespace fgbs {
+
+/// Eagerly computed measurement store for one suite.
+class MeasurementDatabase {
+public:
+  /// Profiles \p S on \p Reference and measures it on every machine in
+  /// \p Targets.  \p S must outlive the database.
+  MeasurementDatabase(const Suite &S, Machine Reference,
+                      std::vector<Machine> Targets,
+                      const TimingPolicy &Policy = {});
+
+  const Suite &suite() const { return *TheSuite; }
+  const Machine &reference() const { return Reference; }
+  const std::vector<Machine> &targets() const { return Targets; }
+
+  std::size_t numCodelets() const { return Profiles.size(); }
+
+  /// The step-B profile (reference, in application, features).
+  const CodeletProfile &profile(std::size_t Codelet) const {
+    return Profiles[Codelet];
+  }
+
+  /// The codelet object behind index \p Codelet.
+  const Codelet &codelet(std::size_t Codelet) const {
+    return *Profiles[Codelet].C;
+  }
+
+  /// Ground truth: measured in-application per-invocation seconds of
+  /// codelet \p Codelet on target \p Target.
+  double realTargetSeconds(std::size_t Codelet, std::size_t Target) const {
+    return RealTarget[Target][Codelet].MeasuredSeconds;
+  }
+
+  /// Full in-application measurement on a target.
+  const Measurement &realTargetMeasurement(std::size_t Codelet,
+                                           std::size_t Target) const {
+    return RealTarget[Target][Codelet];
+  }
+
+  /// Standalone microbenchmark measurement on the reference machine
+  /// (used by the 10% well-behaved test).
+  const StandaloneMeasurement &standaloneRef(std::size_t Codelet) const {
+    return StandaloneOnRef[Codelet];
+  }
+
+  /// Standalone microbenchmark measurement on target \p Target.
+  const StandaloneMeasurement &standaloneTarget(std::size_t Codelet,
+                                                std::size_t Target) const {
+    return StandaloneOnTarget[Target][Codelet];
+  }
+
+  /// Indices of codelets surviving the 1M-cycle profiling filter.
+  std::vector<std::size_t> keptCodelets() const;
+
+  /// True when \p Codelet passes the section 3.4 agreement test on the
+  /// reference machine.
+  bool isWellBehavedOnRef(std::size_t Codelet) const;
+
+private:
+  const Suite *TheSuite;
+  Machine Reference;
+  std::vector<Machine> Targets;
+  std::vector<CodeletProfile> Profiles;
+  /// [target][codelet]
+  std::vector<std::vector<Measurement>> RealTarget;
+  std::vector<StandaloneMeasurement> StandaloneOnRef;
+  /// [target][codelet]
+  std::vector<std::vector<StandaloneMeasurement>> StandaloneOnTarget;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_DATABASE_H

@@ -1,0 +1,159 @@
+//===- fgbs/core/Pipeline.cpp - Steps C-E orchestration -------------------===//
+
+#include "fgbs/core/Pipeline.h"
+
+#include "fgbs/support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+using namespace fgbs;
+
+Pipeline::Pipeline(const MeasurementDatabase &Db, PipelineConfig Config)
+    : Db(Db), Config(std::move(Config)) {
+  assert(this->Config.Features.size() == NumFeatures &&
+         "feature mask must cover the catalog");
+  assert(maskCount(this->Config.Features) > 0 &&
+         "at least one feature must be selected");
+}
+
+FeatureTable Pipeline::buildPoints() const {
+  std::vector<std::size_t> Kept = Db.keptCodelets();
+  FeatureTable Full;
+  Full.reserve(Kept.size());
+  for (std::size_t Index : Kept)
+    Full.push_back(applyMask(Db.profile(Index).Features, Config.Features));
+  return Config.Normalize ? normalizeFeatures(Full) : Full;
+}
+
+PipelineResult Pipeline::run() const {
+  std::vector<std::size_t> Kept = Db.keptCodelets();
+  FeatureTable Points = buildPoints();
+
+  Dendrogram Tree = hierarchicalCluster(Points, Config.LinkageMethod);
+  unsigned Elbow =
+      elbowK(Points, Tree, Config.MaxK, Config.ElbowThreshold);
+  unsigned K = Config.K > 0 ? Config.K : Elbow;
+  K = std::min<unsigned>(K, static_cast<unsigned>(Points.size()));
+
+  return evaluate(std::move(Kept), std::move(Points), Tree.cut(K), Elbow);
+}
+
+PipelineResult Pipeline::runWithClustering(const Clustering &Initial) const {
+  std::vector<std::size_t> Kept = Db.keptCodelets();
+  FeatureTable Points = buildPoints();
+  assert(Initial.Assignment.size() == Kept.size() &&
+         "clustering must cover the kept codelets");
+  return evaluate(std::move(Kept), std::move(Points), Initial,
+                  /*ElbowChoice=*/0);
+}
+
+PipelineResult Pipeline::evaluate(std::vector<std::size_t> Kept,
+                                  FeatureTable Points, Clustering Initial,
+                                  unsigned ElbowChoice) const {
+  PipelineResult R;
+  R.Kept = std::move(Kept);
+  R.Points = std::move(Points);
+  R.ElbowK = ElbowChoice;
+  R.InitialK = Initial.K;
+  R.Initial = Initial;
+
+  // --- Step D: representative selection --------------------------------
+  auto WellBehaved = [this, &R](std::size_t Local) {
+    return Db.isWellBehavedOnRef(R.Kept[Local]);
+  };
+  if (Config.ReSelectIllBehaved) {
+    R.Selection = selectRepresentatives(R.Points, Initial, WellBehaved,
+                                        Config.MedoidRepresentative);
+  } else {
+    // Plain medoid (or first-member) choice with no agreement test.
+    R.Selection.Assignment = Initial.Assignment;
+    R.Selection.FinalK = Initial.K;
+    for (const std::vector<std::size_t> &Members : Initial.members()) {
+      assert(!Members.empty() && "empty cluster in initial clustering");
+      std::size_t Pick =
+          Config.MedoidRepresentative ? medoidOf(R.Points, Members) : 0;
+      R.Selection.Representatives.push_back(Members[Pick]);
+    }
+  }
+
+  // A suite whose codelets are all ill-behaved yields no representatives
+  // and cannot be predicted (paper: MG under per-application subsetting).
+  if (R.Selection.FinalK == 0)
+    return R;
+
+  // --- Step E: prediction model -----------------------------------------
+  std::vector<double> RefTimes(R.Kept.size());
+  for (std::size_t I = 0; I < R.Kept.size(); ++I)
+    RefTimes[I] = Db.profile(R.Kept[I]).InApp.MeasuredSeconds;
+  R.Model = PredictionModel::build(RefTimes, R.Selection.Assignment,
+                                   R.Selection.Representatives);
+
+  // --- Evaluation against every target ----------------------------------
+  const Suite &S = Db.suite();
+  for (std::size_t T = 0; T < Db.targets().size(); ++T) {
+    TargetEvaluation Eval;
+    Eval.MachineName = Db.targets()[T].Name;
+
+    // Representatives measured standalone on the target.
+    std::vector<double> RepTimes;
+    RepTimes.reserve(R.Selection.Representatives.size());
+    for (std::size_t Local : R.Selection.Representatives)
+      RepTimes.push_back(Db.standaloneTarget(R.Kept[Local], T).MedianSeconds);
+
+    Eval.Predicted = R.Model.predict(RepTimes);
+    Eval.Real.resize(R.Kept.size());
+    for (std::size_t I = 0; I < R.Kept.size(); ++I)
+      Eval.Real[I] = Db.realTargetSeconds(R.Kept[I], T);
+    Eval.ErrorsPercent = predictionErrorsPercent(Eval.Predicted, Eval.Real);
+    Eval.MedianErrorPercent = median(Eval.ErrorsPercent);
+    Eval.AverageErrorPercent = mean(Eval.ErrorsPercent);
+
+    // Benchmarking-reduction breakdown (Table 5).
+    for (std::size_t I = 0; I < R.Kept.size(); ++I) {
+      double Invocations =
+          static_cast<double>(Db.codelet(R.Kept[I]).totalInvocations());
+      Eval.Reduction.FullSuiteSeconds += Eval.Real[I] * Invocations;
+      Eval.Reduction.ReducedInvocationSeconds +=
+          Db.standaloneTarget(R.Kept[I], T).TotalBenchmarkSeconds;
+    }
+    for (std::size_t Local : R.Selection.Representatives)
+      Eval.Reduction.RepresentativeSeconds +=
+          Db.standaloneTarget(R.Kept[Local], T).TotalBenchmarkSeconds;
+
+    // Application-level aggregation.
+    std::map<std::string, std::vector<std::size_t>> ByApp;
+    for (std::size_t I = 0; I < R.Kept.size(); ++I)
+      ByApp[Db.codelet(R.Kept[I]).App].push_back(I);
+    // Preserve suite application order.
+    for (const Application &App : S.Applications) {
+      auto It = ByApp.find(App.Name);
+      if (It == ByApp.end())
+        continue;
+      std::vector<double> RefT;
+      std::vector<double> RealT;
+      std::vector<double> PredT;
+      std::vector<double> Inv;
+      for (std::size_t Local : It->second) {
+        RefT.push_back(Db.profile(R.Kept[Local]).InApp.MeasuredSeconds);
+        RealT.push_back(Eval.Real[Local]);
+        PredT.push_back(Eval.Predicted[Local]);
+        Inv.push_back(
+            static_cast<double>(Db.codelet(R.Kept[Local]).totalInvocations()));
+      }
+      Eval.AppNames.push_back(App.Name);
+      Eval.AppReference.push_back(applicationTime(RefT, Inv, App.Coverage));
+      Eval.AppReal.push_back(applicationTime(RealT, Inv, App.Coverage));
+      Eval.AppPredicted.push_back(applicationTime(PredT, Inv, App.Coverage));
+    }
+    Eval.RealGeomeanSpeedup =
+        geometricMeanSpeedup(Eval.AppReference, Eval.AppReal);
+    Eval.PredictedGeomeanSpeedup =
+        geometricMeanSpeedup(Eval.AppReference, Eval.AppPredicted);
+
+    R.Targets.push_back(std::move(Eval));
+  }
+  return R;
+}

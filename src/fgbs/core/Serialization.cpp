@@ -1,0 +1,154 @@
+//===- fgbs/core/Serialization.cpp - CSV import/export --------------------===//
+
+#include "fgbs/core/Serialization.h"
+
+#include "fgbs/support/TextTable.h"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace fgbs;
+
+/// CSV-quotes a cell when needed.
+static std::string csvCell(const std::string &Value) {
+  if (Value.find(',') == std::string::npos &&
+      Value.find('"') == std::string::npos)
+    return Value;
+  std::string Quoted = "\"";
+  for (char C : Value) {
+    if (C == '"')
+      Quoted += '"';
+    Quoted += C;
+  }
+  Quoted += '"';
+  return Quoted;
+}
+
+/// Full-precision float formatting so matrices round-trip.
+static std::string csvNumber(double Value) {
+  std::ostringstream OS;
+  OS.precision(17);
+  OS << Value;
+  return OS.str();
+}
+
+void fgbs::writeProfilesCsv(std::ostream &OS, const MeasurementDatabase &Db) {
+  const FeatureCatalog &Cat = FeatureCatalog::get();
+  OS << "codelet,application,discarded,ref_seconds_per_invocation";
+  for (std::size_t F = 0; F < Cat.size(); ++F)
+    OS << ',' << Cat.info(F).Name;
+  OS << '\n';
+  for (std::size_t I = 0; I < Db.numCodelets(); ++I) {
+    const CodeletProfile &P = Db.profile(I);
+    OS << csvCell(P.C->Name) << ',' << csvCell(P.C->App) << ','
+       << (P.Discarded ? 1 : 0) << ',' << csvNumber(P.InApp.MeasuredSeconds);
+    for (double V : P.Features)
+      OS << ',' << csvNumber(V);
+    OS << '\n';
+  }
+}
+
+void fgbs::writeEvaluationCsv(std::ostream &OS, const MeasurementDatabase &Db,
+                              const PipelineResult &R) {
+  OS << "codelet,application,cluster,is_representative";
+  for (const TargetEvaluation &T : R.Targets)
+    OS << ',' << csvCell(T.MachineName + " real_s") << ','
+       << csvCell(T.MachineName + " predicted_s") << ','
+       << csvCell(T.MachineName + " error_pct");
+  OS << '\n';
+
+  std::vector<bool> IsRep(R.Kept.size(), false);
+  for (std::size_t Rep : R.Selection.Representatives)
+    IsRep[Rep] = true;
+
+  for (std::size_t I = 0; I < R.Kept.size(); ++I) {
+    const Codelet &C = Db.codelet(R.Kept[I]);
+    OS << csvCell(C.Name) << ',' << csvCell(C.App) << ','
+       << R.Selection.Assignment[I] << ',' << (IsRep[I] ? 1 : 0);
+    for (const TargetEvaluation &T : R.Targets)
+      OS << ',' << csvNumber(T.Real[I]) << ',' << csvNumber(T.Predicted[I])
+         << ',' << csvNumber(T.ErrorsPercent[I]);
+    OS << '\n';
+  }
+}
+
+void fgbs::writeFeatureMatrixCsv(std::ostream &OS, const FeatureTable &Points,
+                                 const std::vector<std::string> &ColumnNames,
+                                 const std::vector<std::string> &RowNames) {
+  assert(Points.size() == RowNames.size() && "one row name per point");
+  OS << "name";
+  for (const std::string &Col : ColumnNames)
+    OS << ',' << csvCell(Col);
+  OS << '\n';
+  for (std::size_t I = 0; I < Points.size(); ++I) {
+    assert(Points[I].size() == ColumnNames.size() && "ragged feature table");
+    OS << csvCell(RowNames[I]);
+    for (double V : Points[I])
+      OS << ',' << csvNumber(V);
+    OS << '\n';
+  }
+}
+
+/// Splits one CSV line, honoring double-quoted cells.
+static std::vector<std::string> splitCsvLine(const std::string &Line) {
+  std::vector<std::string> Cells;
+  std::string Cell;
+  bool Quoted = false;
+  for (std::size_t I = 0; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (Quoted) {
+      if (C == '"' && I + 1 < Line.size() && Line[I + 1] == '"') {
+        Cell += '"';
+        ++I;
+      } else if (C == '"') {
+        Quoted = false;
+      } else {
+        Cell += C;
+      }
+      continue;
+    }
+    if (C == '"') {
+      Quoted = true;
+    } else if (C == ',') {
+      Cells.push_back(std::move(Cell));
+      Cell.clear();
+    } else {
+      Cell += C;
+    }
+  }
+  Cells.push_back(std::move(Cell));
+  return Cells;
+}
+
+std::optional<FeatureMatrixCsv> fgbs::readFeatureMatrixCsv(std::istream &IS) {
+  FeatureMatrixCsv Out;
+  std::string Line;
+  if (!std::getline(IS, Line))
+    return std::nullopt;
+  std::vector<std::string> Header = splitCsvLine(Line);
+  if (Header.size() < 2 || Header.front() != "name")
+    return std::nullopt;
+  Out.ColumnNames.assign(Header.begin() + 1, Header.end());
+
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::vector<std::string> Cells = splitCsvLine(Line);
+    if (Cells.size() != Header.size())
+      return std::nullopt;
+    Out.RowNames.push_back(Cells.front());
+    std::vector<double> Row;
+    Row.reserve(Cells.size() - 1);
+    for (std::size_t I = 1; I < Cells.size(); ++I) {
+      char *End = nullptr;
+      double V = std::strtod(Cells[I].c_str(), &End);
+      if (End == Cells[I].c_str() || *End != '\0')
+        return std::nullopt;
+      Row.push_back(V);
+    }
+    Out.Points.push_back(std::move(Row));
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- fgbs/core/Serialization.h - CSV import/export ------------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSV serialization of profiling results and evaluations.
+///
+/// The paper's workflow profiles a suite ONCE on the reference machine
+/// and reuses the extracted representatives across many target machines
+/// and users ("the benchmarks are portable, so they can be extracted
+/// once for a benchmark suite and reused").  These helpers persist the
+/// step-B profiles and the step-E evaluations so downstream tooling
+/// (spreadsheets, plotting) can consume them, and feature matrices can
+/// round-trip through disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_SERIALIZATION_H
+#define FGBS_CORE_SERIALIZATION_H
+
+#include "fgbs/core/Pipeline.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace fgbs {
+
+/// Writes the step-B profile of every codelet in \p Db as CSV: name,
+/// application, discarded flag, reference seconds per invocation, and
+/// the full 76-entry feature vector (columns named per the catalog).
+void writeProfilesCsv(std::ostream &OS, const MeasurementDatabase &Db);
+
+/// Writes a pipeline evaluation as CSV: one row per kept codelet with
+/// cluster id, representative flag, and per-target real/predicted
+/// seconds and error percent.
+void writeEvaluationCsv(std::ostream &OS, const MeasurementDatabase &Db,
+                        const PipelineResult &R);
+
+/// Writes a bare feature matrix (header row of column names, one row
+/// per point).
+void writeFeatureMatrixCsv(std::ostream &OS, const FeatureTable &Points,
+                           const std::vector<std::string> &ColumnNames,
+                           const std::vector<std::string> &RowNames);
+
+/// Parsed feature matrix.
+struct FeatureMatrixCsv {
+  std::vector<std::string> ColumnNames;
+  std::vector<std::string> RowNames;
+  FeatureTable Points;
+};
+
+/// Reads a feature matrix previously written by writeFeatureMatrixCsv.
+/// Returns std::nullopt on malformed input (ragged rows, non-numeric
+/// cells, missing header).
+std::optional<FeatureMatrixCsv> readFeatureMatrixCsv(std::istream &IS);
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_SERIALIZATION_H

@@ -1,0 +1,72 @@
+//===- fgbs/core/Validation.cpp - Cross-validating a reduction ------------===//
+
+#include "fgbs/core/Validation.h"
+
+#include "fgbs/support/Statistics.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace fgbs;
+
+LooResult fgbs::leaveOneOutErrors(const MeasurementDatabase &Db,
+                                  const PipelineResult &R,
+                                  std::size_t TargetIndex) {
+  assert(TargetIndex < Db.targets().size() && "target index out of range");
+  LooResult Out;
+  std::size_t N = R.Kept.size();
+  Out.ErrorsPercent.assign(N, 0.0);
+  Out.Validated.assign(N, false);
+
+  // Cluster membership over the FINAL assignment.
+  std::vector<std::vector<std::size_t>> Members(R.Selection.FinalK);
+  for (std::size_t I = 0; I < N; ++I)
+    Members[static_cast<std::size_t>(R.Selection.Assignment[I])].push_back(I);
+
+  std::vector<double> ValidatedErrors;
+  for (std::size_t I = 0; I < N; ++I) {
+    auto Cluster = static_cast<std::size_t>(R.Selection.Assignment[I]);
+    const std::vector<std::size_t> &M = Members[Cluster];
+    if (M.size() < 2) {
+      ++Out.Skipped;
+      continue;
+    }
+
+    // Re-select the representative among the remaining well-behaved
+    // members: the one closest to the centroid of the remainder.
+    std::vector<std::size_t> Rest;
+    for (std::size_t J : M)
+      if (J != I)
+        Rest.push_back(J);
+    std::vector<double> Centroid = centroidOf(R.Points, Rest);
+    std::size_t StandIn = N; // Invalid.
+    double Best = std::numeric_limits<double>::infinity();
+    for (std::size_t J : Rest) {
+      if (!Db.isWellBehavedOnRef(R.Kept[J]))
+        continue;
+      double Dist = squaredDistance(R.Points[J], Centroid);
+      if (Dist < Best) {
+        Best = Dist;
+        StandIn = J;
+      }
+    }
+    if (StandIn == N) {
+      ++Out.Skipped;
+      continue;
+    }
+
+    double RefI = Db.profile(R.Kept[I]).InApp.MeasuredSeconds;
+    double RefRep = Db.profile(R.Kept[StandIn]).InApp.MeasuredSeconds;
+    double TarRep =
+        Db.standaloneTarget(R.Kept[StandIn], TargetIndex).MedianSeconds;
+    double Predicted = RefI * TarRep / RefRep;
+    double Real = Db.realTargetSeconds(R.Kept[I], TargetIndex);
+    Out.ErrorsPercent[I] = percentError(Predicted, Real);
+    Out.Validated[I] = true;
+    ValidatedErrors.push_back(Out.ErrorsPercent[I]);
+  }
+
+  if (!ValidatedErrors.empty())
+    Out.MedianErrorPercent = median(ValidatedErrors);
+  return Out;
+}

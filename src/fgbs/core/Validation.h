@@ -1,0 +1,50 @@
+//===- fgbs/core/Validation.h - Cross-validating a reduction ----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leave-one-out validation of a reduced suite: how well would each
+/// codelet have been predicted if it had NOT been its cluster's
+/// representative?  For every codelet in a multi-member cluster, the
+/// representative is re-chosen among the remaining members and the
+/// codelet is predicted from that stand-in.  Singleton clusters cannot
+/// be validated this way and are skipped.
+///
+/// This answers the robustness question the paper's Figure 2 raises
+/// (representatives are predicted "for free" at 0% error, flattering the
+/// aggregate): the LOO error is an estimate of the method's accuracy
+/// with the representative advantage removed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_VALIDATION_H
+#define FGBS_CORE_VALIDATION_H
+
+#include "fgbs/core/Pipeline.h"
+
+namespace fgbs {
+
+/// Outcome of a leave-one-out pass against one target machine.
+struct LooResult {
+  /// Per kept codelet: LOO prediction error percent (0 for skipped).
+  std::vector<double> ErrorsPercent;
+  /// Per kept codelet: false when the codelet sits in a singleton
+  /// cluster (or its cluster has no other well-behaved member).
+  std::vector<bool> Validated;
+  /// Median over validated codelets.
+  double MedianErrorPercent = 0.0;
+  /// Number of codelets that could not be validated.
+  unsigned Skipped = 0;
+};
+
+/// Runs leave-one-out validation of \p R against target \p TargetIndex.
+/// \p R must come from a Pipeline over \p Db.
+LooResult leaveOneOutErrors(const MeasurementDatabase &Db,
+                            const PipelineResult &R, std::size_t TargetIndex);
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_VALIDATION_H

@@ -1,0 +1,109 @@
+//===- fgbs/dsl/Builder.cpp - Fluent codelet construction ----------------===//
+
+#include "fgbs/dsl/Builder.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace fgbs;
+
+CodeletBuilder::CodeletBuilder(std::string Name, std::string App) {
+  Result.Name = std::move(Name);
+  Result.App = std::move(App);
+}
+
+CodeletBuilder &CodeletBuilder::pattern(std::string Text) {
+  Result.Pattern = std::move(Text);
+  return *this;
+}
+
+unsigned CodeletBuilder::array(std::string Name, Precision Elem,
+                               std::uint64_t NumElements) {
+  assert(NumElements > 0 && "array must have elements");
+  Result.Arrays.push_back({std::move(Name), Elem, NumElements});
+  return static_cast<unsigned>(Result.Arrays.size() - 1);
+}
+
+CodeletBuilder &CodeletBuilder::loops(std::uint64_t InnerTripCount,
+                                      std::uint64_t OuterIterations) {
+  assert(InnerTripCount > 0 && OuterIterations > 0 && "empty loop nest");
+  Result.Nest.InnerTripCount = InnerTripCount;
+  Result.Nest.OuterIterations = OuterIterations;
+  return *this;
+}
+
+CodeletBuilder &CodeletBuilder::invocations(std::uint64_t Count,
+                                            double DatasetScale) {
+  assert(Count > 0 && "invocation group must be non-empty");
+  assert(DatasetScale > 0.0 && "dataset scale must be positive");
+  if (!InvocationsSet) {
+    Result.Invocations.clear();
+    InvocationsSet = true;
+  }
+  Result.Invocations.push_back({Count, DatasetScale});
+  return *this;
+}
+
+CodeletBuilder &CodeletBuilder::contextSensitiveCompilation() {
+  Result.Traits.CompilationContextSensitive = true;
+  return *this;
+}
+
+CodeletBuilder &CodeletBuilder::cacheStateSensitive() {
+  Result.Traits.CacheStateSensitive = true;
+  return *this;
+}
+
+CodeletBuilder &CodeletBuilder::stmt(Stmt S) {
+  Result.Body.push_back(std::move(S));
+  return *this;
+}
+
+Access CodeletBuilder::at(unsigned ArrayIndex, StrideClass Stride,
+                          std::int64_t StrideElems,
+                          unsigned PointsPerIter) const {
+  assert(ArrayIndex < Result.Arrays.size() && "unknown array");
+  Access Ref;
+  Ref.ArrayIndex = ArrayIndex;
+  Ref.Stride = Stride;
+  if (StrideElems == kDefaultStride) {
+    switch (Stride) {
+    case StrideClass::Zero:
+      StrideElems = 0;
+      break;
+    case StrideClass::Unit:
+    case StrideClass::Stencil:
+      StrideElems = 1;
+      break;
+    case StrideClass::NegUnit:
+      StrideElems = -1;
+      break;
+    case StrideClass::Small:
+      StrideElems = 4;
+      break;
+    case StrideClass::Lda:
+      StrideElems = 512;
+      break;
+    }
+  }
+  Ref.StrideElems = StrideElems;
+  // Stencils are normally written as several explicit neighbor loads, so
+  // the default is one touch per node; PointsPerIter > 1 lets a single
+  // node stand for a group of neighbor touches in the memory stream.
+  Ref.PointsPerIter = PointsPerIter ? PointsPerIter : 1;
+  return Ref;
+}
+
+ExprPtr CodeletBuilder::ld(unsigned ArrayIndex, StrideClass Stride,
+                           std::int64_t StrideElems,
+                           unsigned PointsPerIter) const {
+  Access Ref = at(ArrayIndex, Stride, StrideElems, PointsPerIter);
+  return load(Ref, Result.Arrays[ArrayIndex].Elem);
+}
+
+Codelet CodeletBuilder::take() {
+  assert(!Taken && "CodeletBuilder::take() called twice");
+  assert(!Result.Body.empty() && "codelet with an empty body");
+  Taken = true;
+  return std::move(Result);
+}

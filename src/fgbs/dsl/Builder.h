@@ -1,0 +1,78 @@
+//===- fgbs/dsl/Builder.h - Fluent codelet construction --------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent builder for assembling codelets.  The NR and NAS suite
+/// definitions (fgbs/suites) construct ~95 codelets; this builder keeps
+/// those definitions close to the paper's Table 3 vocabulary (pattern,
+/// stride classes, precision).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_DSL_BUILDER_H
+#define FGBS_DSL_BUILDER_H
+
+#include "fgbs/dsl/Codelet.h"
+
+namespace fgbs {
+
+/// Fluent builder for one codelet.
+class CodeletBuilder {
+public:
+  CodeletBuilder(std::string Name, std::string App);
+
+  /// Sets the human-readable computation pattern (Table 3 column).
+  CodeletBuilder &pattern(std::string Text);
+
+  /// Declares an array and returns its index for use in accesses.
+  unsigned array(std::string Name, Precision Elem, std::uint64_t NumElements);
+
+  /// Sets the loop nest.
+  CodeletBuilder &loops(std::uint64_t InnerTripCount,
+                        std::uint64_t OuterIterations = 1);
+
+  /// Appends one invocation group.  The first call replaces the default
+  /// single-invocation schedule.
+  CodeletBuilder &invocations(std::uint64_t Count, double DatasetScale = 1.0);
+
+  /// Marks the codelet as compiled differently outside its application.
+  CodeletBuilder &contextSensitiveCompilation();
+
+  /// Marks the codelet's extracted memory dump as restoring a warmer
+  /// cache than the in-app execution sees.
+  CodeletBuilder &cacheStateSensitive();
+
+  /// Appends a statement.
+  CodeletBuilder &stmt(Stmt S);
+
+  /// Builds an Access to array \p ArrayIndex with stride class \p Stride.
+  /// \p StrideElems defaults per class: 0, 1, -1, 4, 512 (LDA row length),
+  /// 1 (stencil, with \p PointsPerIter touches).
+  Access at(unsigned ArrayIndex, StrideClass Stride,
+            std::int64_t StrideElems = kDefaultStride,
+            unsigned PointsPerIter = 0) const;
+
+  /// Shorthand: a load expression from array \p ArrayIndex.
+  ExprPtr ld(unsigned ArrayIndex, StrideClass Stride,
+             std::int64_t StrideElems = kDefaultStride,
+             unsigned PointsPerIter = 0) const;
+
+  /// Finalizes and returns the codelet.  The builder must not be reused.
+  Codelet take();
+
+  /// Sentinel for "use the class's default stride".
+  static constexpr std::int64_t kDefaultStride = INT64_MIN;
+
+private:
+  Codelet Result;
+  bool InvocationsSet = false;
+  bool Taken = false;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_DSL_BUILDER_H

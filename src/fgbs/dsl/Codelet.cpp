@@ -1,0 +1,130 @@
+//===- fgbs/dsl/Codelet.cpp - Codelets, applications, suites --------------===//
+
+#include "fgbs/dsl/Codelet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace fgbs;
+
+std::uint64_t Codelet::totalInvocations() const {
+  std::uint64_t Total = 0;
+  for (const InvocationGroup &G : Invocations)
+    Total += G.Count;
+  return Total;
+}
+
+double Codelet::averageDatasetScale() const {
+  assert(!Invocations.empty() && "codelet without invocations");
+  double Weighted = 0.0;
+  std::uint64_t Total = 0;
+  for (const InvocationGroup &G : Invocations) {
+    Weighted += static_cast<double>(G.Count) * G.DatasetScale;
+    Total += G.Count;
+  }
+  assert(Total > 0 && "codelet with zero invocations");
+  return Weighted / static_cast<double>(Total);
+}
+
+double Codelet::capturedDatasetScale() const {
+  assert(!Invocations.empty() && "codelet without invocations");
+  return Invocations.front().DatasetScale;
+}
+
+std::uint64_t Codelet::footprintBytes() const {
+  std::uint64_t Total = 0;
+  for (const ArrayDecl &A : Arrays)
+    Total += A.bytes();
+  return Total;
+}
+
+std::string Codelet::strideSummary() const {
+  // Gather distinct stride classes over all accesses, in a stable
+  // presentation order matching Table 3 (0 first, then 1, -1, ...).
+  bool Seen[6] = {false, false, false, false, false, false};
+  auto Mark = [&Seen](const Access &Ref) {
+    Seen[static_cast<unsigned>(Ref.Stride)] = true;
+  };
+  for (const Stmt &S : Body) {
+    if (S.Kind != StmtKind::Reduction)
+      Mark(S.Target);
+    visitExpr(*S.Rhs, [&Mark](const Expr &E) {
+      if (E.Kind == ExprKind::Load)
+        Mark(E.Ref);
+    });
+  }
+  std::string Out;
+  static const StrideClass Order[] = {StrideClass::Zero,   StrideClass::Unit,
+                                      StrideClass::NegUnit, StrideClass::Small,
+                                      StrideClass::Lda,     StrideClass::Stencil};
+  for (StrideClass Class : Order) {
+    if (!Seen[static_cast<unsigned>(Class)])
+      continue;
+    if (!Out.empty())
+      Out += " & ";
+    Out += strideClassName(Class);
+  }
+  return Out;
+}
+
+Codelet Codelet::clone() const {
+  Codelet Copy;
+  Copy.Name = Name;
+  Copy.App = App;
+  Copy.Pattern = Pattern;
+  Copy.Arrays = Arrays;
+  Copy.Nest = Nest;
+  Copy.Body.reserve(Body.size());
+  for (const Stmt &S : Body)
+    Copy.Body.push_back(S.clone());
+  Copy.Invocations = Invocations;
+  Copy.Traits = Traits;
+  return Copy;
+}
+
+std::size_t Suite::numCodelets() const {
+  std::size_t Count = 0;
+  for (const Application &App : Applications)
+    Count += App.Codelets.size();
+  return Count;
+}
+
+std::vector<const Codelet *> Suite::allCodelets() const {
+  std::vector<const Codelet *> Out;
+  Out.reserve(numCodelets());
+  for (const Application &App : Applications)
+    for (const Codelet &C : App.Codelets)
+      Out.push_back(&C);
+  return Out;
+}
+
+std::vector<MemoryStreamDesc> fgbs::collectStreams(const Codelet &C,
+                                                   double Scale) {
+  assert(Scale > 0.0 && "dataset scale must be positive");
+  std::vector<MemoryStreamDesc> Streams;
+  auto AddAccess = [&](const Access &Ref, bool IsStore) {
+    assert(Ref.ArrayIndex < C.Arrays.size() && "dangling array reference");
+    const ArrayDecl &Arr = C.Arrays[Ref.ArrayIndex];
+    unsigned ElemBytes = bytesPerElement(Arr.Elem);
+    MemoryStreamDesc Desc;
+    Desc.StrideBytes = Ref.StrideElems * static_cast<std::int64_t>(ElemBytes);
+    Desc.FootprintBytes = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(Arr.bytes()) * Scale));
+    Desc.FootprintBytes = std::max<std::uint64_t>(Desc.FootprintBytes,
+                                                  ElemBytes);
+    Desc.PointsPerIter = Ref.PointsPerIter;
+    Desc.IsStore = IsStore;
+    Desc.ElemBytes = ElemBytes;
+    Streams.push_back(Desc);
+  };
+  for (const Stmt &S : C.Body) {
+    if (S.Kind != StmtKind::Reduction)
+      AddAccess(S.Target, /*IsStore=*/true);
+    visitExpr(*S.Rhs, [&AddAccess](const Expr &E) {
+      if (E.Kind == ExprKind::Load)
+        AddAccess(E.Ref, /*IsStore=*/false);
+    });
+  }
+  return Streams;
+}

@@ -1,0 +1,135 @@
+//===- fgbs/dsl/Expr.cpp - Codelet expression trees -----------------------===//
+
+#include "fgbs/dsl/Expr.h"
+
+#include <cassert>
+
+using namespace fgbs;
+
+std::string fgbs::strideClassName(StrideClass Class) {
+  switch (Class) {
+  case StrideClass::Zero:
+    return "0";
+  case StrideClass::Unit:
+    return "1";
+  case StrideClass::NegUnit:
+    return "-1";
+  case StrideClass::Small:
+    return "small";
+  case StrideClass::Lda:
+    return "LDA";
+  case StrideClass::Stencil:
+    return "stencil";
+  }
+  assert(false && "unknown stride class");
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  auto Copy = std::make_unique<Expr>();
+  Copy->Kind = Kind;
+  Copy->Prec = Prec;
+  Copy->Ref = Ref;
+  Copy->Bin = Bin;
+  Copy->Un = Un;
+  if (Lhs)
+    Copy->Lhs = Lhs->clone();
+  if (Rhs)
+    Copy->Rhs = Rhs->clone();
+  return Copy;
+}
+
+ExprPtr fgbs::load(Access Ref, Precision Prec) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Load;
+  E->Prec = Prec;
+  E->Ref = Ref;
+  return E;
+}
+
+ExprPtr fgbs::constant(Precision Prec) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Constant;
+  E->Prec = Prec;
+  return E;
+}
+
+ExprPtr fgbs::binary(BinOp Op, ExprPtr Lhs, ExprPtr Rhs) {
+  assert(Lhs && Rhs && "binary expression requires two operands");
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Binary;
+  // The result precision follows the wider operand so mixed-precision
+  // ("MP") codelets promote as C/Fortran would.
+  E->Prec = bytesPerElement(Lhs->Prec) >= bytesPerElement(Rhs->Prec)
+                ? Lhs->Prec
+                : Rhs->Prec;
+  E->Bin = Op;
+  E->Lhs = std::move(Lhs);
+  E->Rhs = std::move(Rhs);
+  return E;
+}
+
+ExprPtr fgbs::unary(UnOp Op, ExprPtr Operand) {
+  assert(Operand && "unary expression requires an operand");
+  auto E = std::make_unique<Expr>();
+  E->Kind = ExprKind::Unary;
+  E->Prec = Operand->Prec;
+  E->Un = Op;
+  E->Lhs = std::move(Operand);
+  return E;
+}
+
+Stmt Stmt::clone() const {
+  Stmt Copy;
+  Copy.Kind = Kind;
+  Copy.Target = Target;
+  Copy.ReduceOp = ReduceOp;
+  if (Rhs)
+    Copy.Rhs = Rhs->clone();
+  return Copy;
+}
+
+Stmt fgbs::storeTo(Access Target, ExprPtr Rhs) {
+  assert(Rhs && "store requires a value");
+  Stmt S;
+  S.Kind = StmtKind::Store;
+  S.Target = Target;
+  S.Rhs = std::move(Rhs);
+  return S;
+}
+
+Stmt fgbs::reduce(BinOp Op, ExprPtr Rhs) {
+  assert(Rhs && "reduction requires a value");
+  Stmt S;
+  S.Kind = StmtKind::Reduction;
+  S.ReduceOp = Op;
+  S.Rhs = std::move(Rhs);
+  return S;
+}
+
+Stmt fgbs::recurrence(Access Target, ExprPtr Rhs) {
+  assert(Rhs && "recurrence requires a value");
+  Stmt S;
+  S.Kind = StmtKind::Recurrence;
+  S.Target = Target;
+  S.Rhs = std::move(Rhs);
+  return S;
+}
+
+void fgbs::visitExpr(const Expr &Root,
+                     const std::function<void(const Expr &)> &Visit) {
+  Visit(Root);
+  if (Root.Lhs)
+    visitExpr(*Root.Lhs, Visit);
+  if (Root.Rhs)
+    visitExpr(*Root.Rhs, Visit);
+}
+
+unsigned fgbs::countLoads(const Expr &Root) {
+  unsigned Count = 0;
+  visitExpr(Root, [&Count](const Expr &E) {
+    if (E.Kind == ExprKind::Load)
+      ++Count;
+  });
+  return Count;
+}

@@ -1,0 +1,158 @@
+//===- fgbs/dsl/Expr.h - Codelet expression trees --------------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression and statement trees forming the body of a codelet.
+///
+/// A codelet (paper section 3.1) is an outermost source loop without side
+/// effects.  We represent its innermost-loop body as a small tree IR:
+/// array loads with affine stride patterns, arithmetic, and three statement
+/// forms (store, reduction, first-order recurrence).  The mini-compiler
+/// (fgbs/compiler) lowers these trees to abstract instruction streams; the
+/// simulator derives memory streams from the access patterns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_DSL_EXPR_H
+#define FGBS_DSL_EXPR_H
+
+#include "fgbs/isa/Isa.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fgbs {
+
+/// Classification of an access's innermost-loop stride, matching the
+/// "Stride" column of paper Table 3.
+enum class StrideClass {
+  Zero,    ///< Constant location (accumulator spilled to memory, scalar).
+  Unit,    ///< Contiguous ascending (stride 1).
+  NegUnit, ///< Contiguous descending (stride -1).
+  Small,   ///< Small constant stride > 1 (e.g. 4 for interleaved FFT data).
+  Lda,     ///< Leading-dimension stride: row-wise walk of a column-major
+           ///< array (one new cache line per iteration).
+  Stencil, ///< Multi-point stencil neighborhood.
+};
+
+/// Printable stride-class name as used in Table 3 ("0", "1", "-1", "LDA",
+/// "stencil", ...).
+std::string strideClassName(StrideClass Class);
+
+/// An array referenced by a codelet.
+struct ArrayDecl {
+  std::string Name;
+  Precision Elem;
+  std::uint64_t NumElements; ///< Elements touched per invocation.
+
+  std::uint64_t bytes() const { return NumElements * bytesPerElement(Elem); }
+};
+
+/// One affine access to an array inside the innermost loop.
+struct Access {
+  unsigned ArrayIndex;  ///< Index into the codelet's array table.
+  StrideClass Stride;
+  std::int64_t StrideElems; ///< Signed element stride per iteration
+                            ///< (LDA accesses use the row length).
+  unsigned PointsPerIter = 1; ///< Distinct touches per iteration
+                              ///< (stencils touch several).
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  Load,     ///< Array read.
+  Constant, ///< Literal (kept in a register; no memory traffic).
+  Binary,   ///< Add/Sub/Mul/Div.
+  Unary,    ///< Sqrt/Exp/Abs.
+};
+
+/// Binary operators.
+enum class BinOp { Add, Sub, Mul, Div };
+
+/// Unary operators.
+enum class UnOp { Sqrt, Exp, Abs };
+
+/// An expression-tree node.  Precision is per node; mixed-precision trees
+/// ("MP" rows of Table 3) are expressed naturally.
+struct Expr {
+  ExprKind Kind;
+  Precision Prec;
+
+  // Load payload.
+  Access Ref{};
+
+  // Binary/unary payload.
+  BinOp Bin = BinOp::Add;
+  UnOp Un = UnOp::Sqrt;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  /// Deep copy.
+  ExprPtr clone() const;
+};
+
+/// Builders.
+ExprPtr load(Access Ref, Precision Prec);
+ExprPtr constant(Precision Prec);
+ExprPtr binary(BinOp Op, ExprPtr Lhs, ExprPtr Rhs);
+ExprPtr unary(UnOp Op, ExprPtr Operand);
+
+inline ExprPtr add(ExprPtr L, ExprPtr R) {
+  return binary(BinOp::Add, std::move(L), std::move(R));
+}
+inline ExprPtr sub(ExprPtr L, ExprPtr R) {
+  return binary(BinOp::Sub, std::move(L), std::move(R));
+}
+inline ExprPtr mul(ExprPtr L, ExprPtr R) {
+  return binary(BinOp::Mul, std::move(L), std::move(R));
+}
+inline ExprPtr div(ExprPtr L, ExprPtr R) {
+  return binary(BinOp::Div, std::move(L), std::move(R));
+}
+
+/// Statement kinds: how the innermost loop consumes each expression.
+enum class StmtKind {
+  Store,      ///< A[i] = expr   (vectorizable if strides allow).
+  Reduction,  ///< acc op= expr  (vectorizable with partial accumulators,
+              ///<                but carries a loop dependency).
+  Recurrence, ///< A[i] = f(A[i-1], ...) first-order recurrence: a serial
+              ///< loop-carried chain that defeats vectorization.
+};
+
+/// One statement of the innermost loop body.
+struct Stmt {
+  StmtKind Kind;
+  /// Store target (valid for Store and Recurrence).
+  Access Target{};
+  /// Reduction combiner (valid for Reduction).
+  BinOp ReduceOp = BinOp::Add;
+  /// Right-hand side.
+  ExprPtr Rhs;
+
+  Stmt clone() const;
+};
+
+/// Builders.
+Stmt storeTo(Access Target, ExprPtr Rhs);
+Stmt reduce(BinOp Op, ExprPtr Rhs);
+Stmt recurrence(Access Target, ExprPtr Rhs);
+
+/// Counts the expression nodes of kind Load in \p Root.
+unsigned countLoads(const Expr &Root);
+
+/// Walks all nodes of \p Root, invoking \p Visit on each.
+void visitExpr(const Expr &Root, const std::function<void(const Expr &)> &Visit);
+
+} // namespace fgbs
+
+#endif // FGBS_DSL_EXPR_H

@@ -1,0 +1,774 @@
+//===- fgbs/dsl/Text.cpp - Textual codelet format --------------------------===//
+
+#include "fgbs/dsl/Text.h"
+
+#include "fgbs/dsl/Builder.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+
+using namespace fgbs;
+
+std::string ParseError::render() const {
+  std::ostringstream OS;
+  OS << Line << ":" << Column << ": " << Message;
+  return OS.str();
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+enum class TokKind {
+  Ident,
+  String,
+  Number,
+  Punct,
+  Eof,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  double NumberValue = 0.0;
+  bool IsInteger = false;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  /// Lexes the next token; on bad input returns a token with kind Eof
+  /// and sets the error.
+  Token next() {
+    skipTrivia();
+    Token T;
+    T.Line = Line;
+    T.Column = Column;
+    if (Pos >= Text.size()) {
+      T.Kind = TokKind::Eof;
+      return T;
+    }
+
+    char C = Text[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_' || Text[Pos] == '-')) {
+        // Identifiers may contain '-' (trait names) but must not eat a
+        // following "-1": only take '-' if followed by a letter.
+        if (Text[Pos] == '-' &&
+            (Pos + 1 >= Text.size() ||
+             !std::isalpha(static_cast<unsigned char>(Text[Pos + 1]))))
+          break;
+        T.Text += Text[Pos];
+        advance();
+      }
+      T.Kind = TokKind::Ident;
+      return T;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      bool SawDot = false;
+      bool SawExp = false;
+      while (Pos < Text.size()) {
+        char D = Text[Pos];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          T.Text += D;
+          advance();
+        } else if (D == '.' && !SawDot && !SawExp) {
+          SawDot = true;
+          T.Text += D;
+          advance();
+        } else if ((D == 'e' || D == 'E') && !SawExp && !T.Text.empty() &&
+                   std::isdigit(static_cast<unsigned char>(T.Text.back()))) {
+          SawExp = true;
+          T.Text += D;
+          advance();
+          if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-')) {
+            T.Text += Text[Pos];
+            advance();
+          }
+        } else {
+          break;
+        }
+      }
+      T.Kind = TokKind::Number;
+      T.IsInteger = !SawDot && !SawExp;
+      T.NumberValue = std::strtod(T.Text.c_str(), nullptr);
+      return T;
+    }
+
+    if (C == '"') {
+      advance();
+      while (Pos < Text.size() && Text[Pos] != '"') {
+        T.Text += Text[Pos];
+        advance();
+      }
+      if (Pos >= Text.size()) {
+        Bad = true;
+        BadMessage = "unterminated string literal";
+        BadLine = T.Line;
+        BadColumn = T.Column;
+        T.Kind = TokKind::Eof;
+        return T;
+      }
+      advance(); // Closing quote.
+      T.Kind = TokKind::String;
+      return T;
+    }
+
+    static const std::string Punct = "{}[]();=+-*/,";
+    if (Punct.find(C) != std::string::npos) {
+      T.Kind = TokKind::Punct;
+      T.Text = std::string(1, C);
+      advance();
+      return T;
+    }
+
+    Bad = true;
+    BadMessage = std::string("unexpected character '") + C + "'";
+    BadLine = T.Line;
+    BadColumn = T.Column;
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+
+  bool bad() const { return Bad; }
+  ParseError error() const { return {BadLine, BadColumn, BadMessage}; }
+
+private:
+  void advance() {
+    if (Text[Pos] == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    ++Pos;
+  }
+
+  void skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+      } else if (C == '#') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view Text;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+  bool Bad = false;
+  std::string BadMessage;
+  unsigned BadLine = 0;
+  unsigned BadColumn = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Lex(Text) { consume(); }
+
+  ParseResult<Codelet> codelet() {
+    Codelet C;
+    if (!parseCodeletInto(C))
+      return Err;
+    if (!expectEof())
+      return Err;
+    return C;
+  }
+
+  ParseResult<Suite> suite() {
+    Suite S;
+    if (!expectIdent("suite"))
+      return Err;
+    if (!expectString(S.Name))
+      return Err;
+    if (!expectPunct("{"))
+      return Err;
+    while (!isPunct("}")) {
+      Application App;
+      if (!parseApplication(App))
+        return Err;
+      S.Applications.push_back(std::move(App));
+    }
+    consume(); // '}'
+    if (!expectEof())
+      return Err;
+    return S;
+  }
+
+private:
+  // --- Token plumbing ---------------------------------------------------
+  void consume() {
+    Current = Lex.next();
+    if (Lex.bad() && !Failed)
+      fail(Lex.error());
+  }
+
+  bool fail(ParseError E) {
+    if (!Failed) {
+      Err = std::move(E);
+      Failed = true;
+    }
+    return false;
+  }
+
+  bool fail(const std::string &Message) {
+    return fail({Current.Line, Current.Column, Message});
+  }
+
+  bool isIdent(const char *Text) const {
+    return Current.Kind == TokKind::Ident && Current.Text == Text;
+  }
+  bool isPunct(const char *Text) const {
+    return Current.Kind == TokKind::Punct && Current.Text == Text;
+  }
+
+  bool expectIdent(const char *Text) {
+    if (!isIdent(Text))
+      return fail(std::string("expected '") + Text + "'");
+    consume();
+    return true;
+  }
+
+  bool expectPunct(const char *Text) {
+    if (!isPunct(Text))
+      return fail(std::string("expected '") + Text + "'");
+    consume();
+    return true;
+  }
+
+  bool expectString(std::string &Out) {
+    if (Current.Kind != TokKind::String)
+      return fail("expected a string literal");
+    Out = Current.Text;
+    consume();
+    return true;
+  }
+
+  bool expectAnyIdent(std::string &Out) {
+    if (Current.Kind != TokKind::Ident)
+      return fail("expected an identifier");
+    Out = Current.Text;
+    consume();
+    return true;
+  }
+
+  bool expectInteger(std::uint64_t &Out) {
+    if (Current.Kind != TokKind::Number || !Current.IsInteger)
+      return fail("expected an integer");
+    Out = static_cast<std::uint64_t>(Current.NumberValue);
+    consume();
+    return true;
+  }
+
+  bool expectSignedInteger(std::int64_t &Out) {
+    bool Negative = false;
+    if (isPunct("-")) {
+      Negative = true;
+      consume();
+    }
+    std::uint64_t Magnitude = 0;
+    if (!expectInteger(Magnitude))
+      return false;
+    Out = static_cast<std::int64_t>(Magnitude);
+    if (Negative)
+      Out = -Out;
+    return true;
+  }
+
+  bool expectNumber(double &Out) {
+    if (Current.Kind != TokKind::Number)
+      return fail("expected a number");
+    Out = Current.NumberValue;
+    consume();
+    return true;
+  }
+
+  bool expectEof() {
+    if (Current.Kind != TokKind::Eof)
+      return fail("trailing input after definition");
+    return !Failed;
+  }
+
+  // --- Grammar ----------------------------------------------------------
+  bool parsePrecision(Precision &Out) {
+    static const std::map<std::string, Precision> Names = {
+        {"dp", Precision::DP},
+        {"sp", Precision::SP},
+        {"i32", Precision::I32},
+        {"i64", Precision::I64}};
+    if (Current.Kind != TokKind::Ident)
+      return fail("expected a precision (dp, sp, i32, i64)");
+    auto It = Names.find(Current.Text);
+    if (It == Names.end())
+      return fail("unknown precision '" + Current.Text + "'");
+    Out = It->second;
+    consume();
+    return true;
+  }
+
+  bool parseApplication(Application &App) {
+    if (!expectIdent("application"))
+      return false;
+    if (!expectString(App.Name))
+      return false;
+    if (isIdent("coverage")) {
+      consume();
+      if (!expectNumber(App.Coverage))
+        return false;
+      if (App.Coverage <= 0.0 || App.Coverage > 1.0)
+        return fail("coverage must be in (0, 1]");
+    }
+    if (!expectPunct("{"))
+      return false;
+    while (!isPunct("}")) {
+      Codelet C;
+      if (!parseCodeletInto(C, App.Name.c_str()))
+        return false;
+      C.App = App.Name;
+      App.Codelets.push_back(std::move(C));
+    }
+    consume(); // '}'
+    return true;
+  }
+
+  bool parseCodeletInto(Codelet &Out, const char *DefaultApp = "") {
+    if (!expectIdent("codelet"))
+      return false;
+    std::string Name;
+    if (!expectString(Name))
+      return false;
+    std::string App = DefaultApp;
+    if (isIdent("app")) {
+      consume();
+      if (!expectString(App))
+        return false;
+    }
+    Builder.emplace(Name, App.empty() ? Name : App);
+    Arrays.clear();
+    ArrayPrecByIndex.clear();
+    HasBody = false;
+
+    if (!expectPunct("{"))
+      return false;
+    while (!isPunct("}"))
+      if (!parseItem())
+        return false;
+    consume(); // '}'
+
+    if (!HasBody)
+      return fail("codelet '" + Name + "' has no statements");
+    Out = Builder->take();
+    return true;
+  }
+
+  bool parseItem() {
+    if (Current.Kind != TokKind::Ident)
+      return fail("expected a codelet item");
+    std::string Keyword = Current.Text;
+    consume();
+
+    if (Keyword == "pattern") {
+      std::string Text;
+      if (!expectString(Text))
+        return false;
+      Builder->pattern(Text);
+    } else if (Keyword == "array") {
+      std::string Name;
+      Precision Prec;
+      std::uint64_t Elements = 0;
+      if (!expectAnyIdent(Name) || !parsePrecision(Prec) ||
+          !expectInteger(Elements))
+        return false;
+      if (Elements == 0)
+        return fail("array '" + Name + "' must have elements");
+      if (Arrays.count(Name))
+        return fail("array '" + Name + "' redeclared");
+      Arrays[Name] = Builder->array(Name, Prec, Elements);
+      ArrayPrecByIndex.push_back(Prec);
+    } else if (Keyword == "loops") {
+      std::uint64_t Inner = 0;
+      std::uint64_t Outer = 1;
+      if (!expectInteger(Inner))
+        return false;
+      if (isIdent("outer")) {
+        consume();
+        if (!expectInteger(Outer))
+          return false;
+      }
+      if (Inner == 0 || Outer == 0)
+        return fail("loop trip counts must be positive");
+      Builder->loops(Inner, Outer);
+    } else if (Keyword == "invocations") {
+      std::uint64_t Count = 0;
+      double Scale = 1.0;
+      if (!expectInteger(Count))
+        return false;
+      if (isIdent("scale")) {
+        consume();
+        if (!expectNumber(Scale))
+          return false;
+      }
+      if (Count == 0 || Scale <= 0.0)
+        return fail("invocations need a positive count and scale");
+      Builder->invocations(Count, Scale);
+    } else if (Keyword == "trait") {
+      if (isIdent("context-sensitive")) {
+        Builder->contextSensitiveCompilation();
+      } else if (isIdent("cache-state-sensitive")) {
+        Builder->cacheStateSensitive();
+      } else {
+        return fail("unknown trait '" + Current.Text + "'");
+      }
+      consume();
+    } else if (Keyword == "store" || Keyword == "recur") {
+      Access Target;
+      if (!parseAccess(Target))
+        return false;
+      if (!expectPunct("="))
+        return false;
+      ExprPtr Rhs = parseExpr();
+      if (!Rhs)
+        return false;
+      Builder->stmt(Keyword == "store" ? storeTo(Target, std::move(Rhs))
+                                       : recurrence(Target, std::move(Rhs)));
+      HasBody = true;
+    } else if (Keyword == "reduce") {
+      BinOp Op;
+      if (isIdent("add")) {
+        Op = BinOp::Add;
+      } else if (isIdent("mul")) {
+        Op = BinOp::Mul;
+      } else {
+        return fail("expected 'add' or 'mul' after 'reduce'");
+      }
+      consume();
+      ExprPtr Rhs = parseExpr();
+      if (!Rhs)
+        return false;
+      Builder->stmt(reduce(Op, std::move(Rhs)));
+      HasBody = true;
+    } else {
+      return fail("unknown codelet item '" + Keyword + "'");
+    }
+    return expectPunct(";");
+  }
+
+  bool parseAccess(Access &Out) {
+    std::string Name;
+    if (!expectAnyIdent(Name))
+      return false;
+    auto It = Arrays.find(Name);
+    if (It == Arrays.end())
+      return fail("unknown array '" + Name + "'");
+    if (!expectPunct("["))
+      return false;
+
+    StrideClass Class;
+    std::int64_t StrideElems = CodeletBuilder::kDefaultStride;
+    unsigned Points = 0;
+    if (isPunct("-")) {
+      consume();
+      std::uint64_t One = 0;
+      if (!expectInteger(One) || One != 1)
+        return fail("expected '-1' stride");
+      Class = StrideClass::NegUnit;
+    } else if (Current.Kind == TokKind::Number && Current.IsInteger) {
+      std::uint64_t V = static_cast<std::uint64_t>(Current.NumberValue);
+      consume();
+      if (V == 0)
+        Class = StrideClass::Zero;
+      else if (V == 1)
+        Class = StrideClass::Unit;
+      else
+        return fail("bare strides must be 0, 1 or -1; use small(n)/lda(n)");
+    } else if (isIdent("small") || isIdent("lda")) {
+      Class = isIdent("small") ? StrideClass::Small : StrideClass::Lda;
+      consume();
+      std::int64_t N = 0;
+      if (!expectPunct("(") || !expectSignedInteger(N) || !expectPunct(")"))
+        return false;
+      if (N == 0)
+        return fail("small/lda strides must be non-zero");
+      StrideElems = N;
+    } else if (isIdent("stencil")) {
+      Class = StrideClass::Stencil;
+      consume();
+      Points = 1;
+      if (isPunct("(")) {
+        consume();
+        std::uint64_t P = 0;
+        if (!expectInteger(P))
+          return false;
+        Points = static_cast<unsigned>(P);
+        if (isPunct(",")) {
+          consume();
+          std::uint64_t N = 0;
+          if (!expectInteger(N))
+            return false;
+          StrideElems = static_cast<std::int64_t>(N);
+        }
+        if (!expectPunct(")"))
+          return false;
+      }
+    } else {
+      return fail("expected a stride");
+    }
+    if (!expectPunct("]"))
+      return false;
+    Out = Builder->at(It->second, Class, StrideElems, Points);
+    return true;
+  }
+
+  /// expr := term (("+"|"-") term)*
+  ExprPtr parseExpr() {
+    ExprPtr Lhs = parseTerm();
+    if (!Lhs)
+      return nullptr;
+    while (isPunct("+") || isPunct("-")) {
+      BinOp Op = isPunct("+") ? BinOp::Add : BinOp::Sub;
+      consume();
+      ExprPtr Rhs = parseTerm();
+      if (!Rhs)
+        return nullptr;
+      Lhs = binary(Op, std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  /// term := factor (("*"|"/") factor)*
+  ExprPtr parseTerm() {
+    ExprPtr Lhs = parseFactor();
+    if (!Lhs)
+      return nullptr;
+    while (isPunct("*") || isPunct("/")) {
+      BinOp Op = isPunct("*") ? BinOp::Mul : BinOp::Div;
+      consume();
+      ExprPtr Rhs = parseFactor();
+      if (!Rhs)
+        return nullptr;
+      Lhs = binary(Op, std::move(Lhs), std::move(Rhs));
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseFactor() {
+    if (isPunct("(")) {
+      consume();
+      ExprPtr Inner = parseExpr();
+      if (!Inner)
+        return nullptr;
+      if (!expectPunct(")"))
+        return nullptr;
+      return Inner;
+    }
+    if (isIdent("sqrt") || isIdent("exp") || isIdent("abs")) {
+      UnOp Op = isIdent("sqrt") ? UnOp::Sqrt
+                                : (isIdent("exp") ? UnOp::Exp : UnOp::Abs);
+      consume();
+      if (!expectPunct("("))
+        return nullptr;
+      ExprPtr Inner = parseExpr();
+      if (!Inner)
+        return nullptr;
+      if (!expectPunct(")"))
+        return nullptr;
+      return unary(Op, std::move(Inner));
+    }
+    if (Current.Kind == TokKind::Number) {
+      consume();
+      Precision Prec;
+      if (!parsePrecision(Prec))
+        return nullptr;
+      return constant(Prec);
+    }
+    if (Current.Kind == TokKind::Ident) {
+      Access Ref;
+      if (!parseAccess(Ref))
+        return nullptr;
+      return load(Ref, ArrayPrecByIndex[Ref.ArrayIndex]);
+    }
+    fail("expected an expression");
+    return nullptr;
+  }
+
+  Lexer Lex;
+  Token Current;
+  bool Failed = false;
+  ParseError Err;
+
+  std::optional<CodeletBuilder> Builder;
+  std::map<std::string, unsigned> Arrays;
+  std::vector<Precision> ArrayPrecByIndex;
+  bool HasBody = false;
+};
+
+} // namespace
+
+ParseResult<Codelet> fgbs::parseCodelet(std::string_view Text) {
+  return Parser(Text).codelet();
+}
+
+ParseResult<Suite> fgbs::parseSuite(std::string_view Text) {
+  return Parser(Text).suite();
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void printStride(std::ostream &OS, const Access &Ref) {
+  switch (Ref.Stride) {
+  case StrideClass::Zero:
+    OS << "0";
+    return;
+  case StrideClass::Unit:
+    OS << "1";
+    return;
+  case StrideClass::NegUnit:
+    OS << "-1";
+    return;
+  case StrideClass::Small:
+    OS << "small(" << Ref.StrideElems << ")";
+    return;
+  case StrideClass::Lda:
+    OS << "lda(" << Ref.StrideElems << ")";
+    return;
+  case StrideClass::Stencil:
+    if (Ref.PointsPerIter == 1 && Ref.StrideElems == 1)
+      OS << "stencil";
+    else if (Ref.StrideElems == 1)
+      OS << "stencil(" << Ref.PointsPerIter << ")";
+    else
+      OS << "stencil(" << Ref.PointsPerIter << ", " << Ref.StrideElems << ")";
+    return;
+  }
+  assert(false && "unknown stride class");
+}
+
+void printAccess(std::ostream &OS, const Codelet &C, const Access &Ref) {
+  OS << C.Arrays[Ref.ArrayIndex].Name << "[";
+  printStride(OS, Ref);
+  OS << "]";
+}
+
+void printExpr(std::ostream &OS, const Codelet &C, const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::Load:
+    printAccess(OS, C, E.Ref);
+    return;
+  case ExprKind::Constant:
+    OS << "1 " << precisionName(E.Prec);
+    return;
+  case ExprKind::Binary: {
+    static const char *Ops[] = {"+", "-", "*", "/"};
+    OS << "(";
+    printExpr(OS, C, *E.Lhs);
+    OS << " " << Ops[static_cast<unsigned>(E.Bin)] << " ";
+    printExpr(OS, C, *E.Rhs);
+    OS << ")";
+    return;
+  }
+  case ExprKind::Unary: {
+    static const char *Fns[] = {"sqrt", "exp", "abs"};
+    OS << Fns[static_cast<unsigned>(E.Un)] << "(";
+    printExpr(OS, C, *E.Lhs);
+    OS << ")";
+    return;
+  }
+  }
+  assert(false && "unknown expression kind");
+}
+
+void printCodeletBody(std::ostream &OS, const Codelet &C,
+                      const std::string &Indent) {
+  if (!C.Pattern.empty())
+    OS << Indent << "pattern \"" << C.Pattern << "\";\n";
+  for (const ArrayDecl &A : C.Arrays)
+    OS << Indent << "array " << A.Name << " " << precisionName(A.Elem) << " "
+       << A.NumElements << ";\n";
+  OS << Indent << "loops " << C.Nest.InnerTripCount;
+  if (C.Nest.OuterIterations != 1)
+    OS << " outer " << C.Nest.OuterIterations;
+  OS << ";\n";
+  for (const InvocationGroup &G : C.Invocations) {
+    OS << Indent << "invocations " << G.Count;
+    if (G.DatasetScale != 1.0)
+      OS << " scale " << G.DatasetScale;
+    OS << ";\n";
+  }
+  if (C.Traits.CompilationContextSensitive)
+    OS << Indent << "trait context-sensitive;\n";
+  if (C.Traits.CacheStateSensitive)
+    OS << Indent << "trait cache-state-sensitive;\n";
+  for (const Stmt &S : C.Body) {
+    OS << Indent;
+    switch (S.Kind) {
+    case StmtKind::Store:
+      OS << "store ";
+      printAccess(OS, C, S.Target);
+      OS << " = ";
+      break;
+    case StmtKind::Recurrence:
+      OS << "recur ";
+      printAccess(OS, C, S.Target);
+      OS << " = ";
+      break;
+    case StmtKind::Reduction:
+      OS << "reduce " << (S.ReduceOp == BinOp::Mul ? "mul" : "add") << " ";
+      break;
+    }
+    printExpr(OS, C, *S.Rhs);
+    OS << ";\n";
+  }
+}
+
+} // namespace
+
+std::string fgbs::printCodelet(const Codelet &C) {
+  std::ostringstream OS;
+  OS << "codelet \"" << C.Name << "\" app \"" << C.App << "\" {\n";
+  printCodeletBody(OS, C, "  ");
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string fgbs::printSuite(const Suite &S) {
+  std::ostringstream OS;
+  OS << "suite \"" << S.Name << "\" {\n";
+  for (const Application &App : S.Applications) {
+    OS << "  application \"" << App.Name << "\" coverage " << App.Coverage
+       << " {\n";
+    for (const Codelet &C : App.Codelets) {
+      OS << "    codelet \"" << C.Name << "\" {\n";
+      printCodeletBody(OS, C, "      ");
+      OS << "    }\n";
+    }
+    OS << "  }\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,87 @@
+//===- fgbs/dsl/Text.h - Textual codelet format -----------------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual format for codelets and suites, with a printer and a
+/// recursive-descent parser.  Suites can be authored, diffed and shipped
+/// as plain text — the paper's extracted codelets are "portable
+/// source-code snippets", and this format plays that role here.
+///
+/// Grammar (EBNF; '#' starts a line comment):
+///
+///   suite       := "suite" string "{" application* "}"
+///   application := "application" string [ "coverage" number ]
+///                  "{" codelet* "}"
+///   codelet     := "codelet" string [ "app" string ] "{" item* "}"
+///   item        := "pattern" string ";"
+///                | "array" ident prec integer ";"
+///                | "loops" integer [ "outer" integer ] ";"
+///                | "invocations" integer [ "scale" number ] ";"
+///                | "trait" ("context-sensitive"|"cache-state-sensitive") ";"
+///                | "store"  access "=" expr ";"
+///                | "reduce" ("add"|"mul") expr ";"
+///                | "recur"  access "=" expr ";"
+///   prec        := "dp" | "sp" | "i32" | "i64"
+///   access      := ident "[" stride "]"
+///   stride      := "0" | "1" | "-1"
+///                | "small" "(" integer ")"
+///                | "lda" "(" integer ")"
+///                | "stencil" [ "(" integer [ "," integer ] ")" ]
+///   expr        := term  (("+"|"-") term)*
+///   term        := factor (("*"|"/") factor)*
+///   factor      := access | number prec
+///                | ("sqrt"|"exp"|"abs") "(" expr ")"
+///                | "(" expr ")"
+///
+/// Arrays must be declared before use; loads take the array's element
+/// precision.  Constant literals carry an explicit precision suffix
+/// ("1.0 dp"); their numeric value is irrelevant to the performance
+/// model and is not preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_DSL_TEXT_H
+#define FGBS_DSL_TEXT_H
+
+#include "fgbs/dsl/Codelet.h"
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace fgbs {
+
+/// A parse diagnostic: 1-based position plus a message in compiler
+/// style ("expected ';' after statement").
+struct ParseError {
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Message;
+
+  /// "line:col: message".
+  std::string render() const;
+};
+
+/// Either a value or a diagnostic.
+template <typename T> using ParseResult = std::variant<T, ParseError>;
+
+/// Parses a single codelet definition.
+ParseResult<Codelet> parseCodelet(std::string_view Text);
+
+/// Parses a whole suite.
+ParseResult<Suite> parseSuite(std::string_view Text);
+
+/// Prints \p C in the textual format (parse(print(C)) reproduces C up to
+/// constant values).
+std::string printCodelet(const Codelet &C);
+
+/// Prints a whole suite.
+std::string printSuite(const Suite &S);
+
+} // namespace fgbs
+
+#endif // FGBS_DSL_TEXT_H

@@ -1,0 +1,100 @@
+//===- fgbs/extract/Extraction.h - Step D: extraction ----------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Step D of the method: extract cluster representatives as standalone
+/// microbenchmarks.
+///
+/// Extraction mirrors the Codelet Finder workflow: the memory state of the
+/// FIRST invocation is captured into a dump, a wrapper replays the dump
+/// and times the codelet over a reduced invocation count (at least 1 ms
+/// of run time and at least 10 invocations; the median invocation time is
+/// reported).  Extracted codelets can be "ill-behaved": their standalone
+/// time deviates more than 10% from the in-application time, because the
+/// captured dataset only matches the first invocation, because the
+/// compiler optimizes the outlined loop differently, or because the dump
+/// restores an unrealistically warm cache.  The representative selector
+/// re-selects or dissolves clusters accordingly (section 3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_EXTRACT_EXTRACTION_H
+#define FGBS_EXTRACT_EXTRACTION_H
+
+#include "fgbs/cluster/Cluster.h"
+#include "fgbs/dsl/Codelet.h"
+#include "fgbs/sim/Executor.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace fgbs {
+
+/// Timing policy for standalone microbenchmarks (section 3.4).
+struct TimingPolicy {
+  double MinRunSeconds = 1e-3;     ///< Run at least this long...
+  std::uint64_t MinInvocations = 10; ///< ...and at least this many times.
+};
+
+/// Result of benchmarking one extracted microbenchmark on one machine.
+struct StandaloneMeasurement {
+  /// Median measured per-invocation time over the chosen invocations.
+  double MedianSeconds = 0.0;
+  /// Noise-free model time per invocation.
+  double TrueSeconds = 0.0;
+  /// Invocation count chosen by the timing policy.
+  std::uint64_t Invocations = 0;
+  /// Total wall time spent benchmarking (invocations x true time):
+  /// the numerator of the benchmarking-reduction factor.
+  double TotalBenchmarkSeconds = 0.0;
+};
+
+/// Benchmarks the extracted form of \p C on \p M: replay the first
+/// invocation's dump, standalone compilation, reduced invocations,
+/// median-of-invocations timing.
+StandaloneMeasurement measureStandalone(const Codelet &C, const Machine &M,
+                                        const TimingPolicy &Policy = {});
+
+/// The 10% in-app-vs-standalone agreement test of section 3.4.
+/// \p InAppSeconds is the per-invocation time profiled at step B.
+bool isWellBehaved(const StandaloneMeasurement &Standalone,
+                   double InAppSeconds, double Threshold = 0.10);
+
+/// Outcome of the ill-behaved-aware representative selection.
+struct SelectionResult {
+  /// Final cluster assignment per point (relabeled to [0, FinalK)).
+  std::vector<int> Assignment;
+  /// One representative point index per final cluster.
+  std::vector<std::size_t> Representatives;
+  /// Points whose standalone behaviour failed the 10% test.
+  std::vector<std::size_t> IllBehaved;
+  unsigned FinalK = 0;
+};
+
+/// Implements the selection loop of section 3.4 over an initial
+/// clustering:
+///   1. try members closest-to-centroid first;
+///   2. ill-behaved candidates become ineligible;
+///   3. clusters with only ineligible members are destroyed and each
+///      member moves to the cluster of its closest (surviving) neighbor.
+/// \p WellBehaved is the per-point agreement oracle.
+/// \p PreferMedoid selects candidates by distance to the centroid (the
+/// paper's policy); passing false walks members in index order instead
+/// (the representative-choice ablation).
+SelectionResult
+selectRepresentatives(const FeatureTable &Points, const Clustering &Initial,
+                      const std::function<bool(std::size_t)> &WellBehaved,
+                      bool PreferMedoid = true);
+
+/// Modeled cost of extracting one codelet into a microbenchmark, for the
+/// overhead discussion of section 5 (the paper reports 380 minutes for
+/// 18 NAS codelets).
+inline constexpr double ExtractionMinutesPerCodelet = 380.0 / 18.0;
+
+} // namespace fgbs
+
+#endif // FGBS_EXTRACT_EXTRACTION_H

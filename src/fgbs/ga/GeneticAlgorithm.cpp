@@ -1,0 +1,126 @@
+//===- fgbs/ga/GeneticAlgorithm.cpp - Binary genetic algorithm ------------===//
+
+#include "fgbs/ga/GeneticAlgorithm.h"
+
+#include "fgbs/support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_map>
+
+using namespace fgbs;
+
+namespace {
+
+/// FNV-style hash over chromosome bits, for fitness memoization.
+struct ChromosomeHash {
+  std::size_t operator()(const Chromosome &C) const {
+    std::uint64_t Hash = 0xCBF29CE484222325ULL;
+    for (std::size_t I = 0; I < C.size(); ++I) {
+      Hash ^= static_cast<std::uint64_t>(C[I]) + (I << 1);
+      Hash *= 0x100000001B3ULL;
+    }
+    return static_cast<std::size_t>(Hash);
+  }
+};
+
+} // namespace
+
+GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
+  assert(Config.ChromosomeLength > 0 && "empty chromosomes");
+  assert(Config.PopulationSize >= 2 && "population too small");
+  assert(Config.TournamentSize >= 1 && "tournament too small");
+
+  Rng Generator(Config.Seed);
+  GaResult Result;
+
+  std::unordered_map<Chromosome, double, ChromosomeHash> Cache;
+  auto Evaluate = [&](const Chromosome &C) {
+    if (Config.CacheFitness) {
+      auto It = Cache.find(C);
+      if (It != Cache.end())
+        return It->second;
+    }
+    double Value = Fitness(C);
+    ++Result.Evaluations;
+    if (Config.CacheFitness)
+      Cache.emplace(C, Value);
+    return Value;
+  };
+
+  // Random initial population.
+  std::vector<Chromosome> Population(Config.PopulationSize);
+  for (Chromosome &C : Population) {
+    C.resize(Config.ChromosomeLength);
+    for (std::size_t B = 0; B < C.size(); ++B)
+      C[B] = Generator.bernoulli(0.5);
+  }
+
+  std::vector<double> Scores(Config.PopulationSize);
+  std::size_t Elite = std::max<std::size_t>(
+      1, static_cast<std::size_t>(Config.EliteFraction *
+                                  static_cast<double>(Config.PopulationSize)));
+
+  double BestEver = 0.0;
+  bool HaveBest = false;
+
+  for (unsigned Gen = 0; Gen < Config.Generations; ++Gen) {
+    for (std::size_t I = 0; I < Population.size(); ++I)
+      Scores[I] = Evaluate(Population[I]);
+
+    // Rank by ascending fitness (minimization).
+    std::vector<std::size_t> Order(Population.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&Scores](std::size_t A, std::size_t B) {
+                       return Scores[A] < Scores[B];
+                     });
+
+    double GenBest = Scores[Order.front()];
+    if (!HaveBest || GenBest < BestEver) {
+      BestEver = GenBest;
+      Result.Best = Population[Order.front()];
+      Result.ConvergedAtGeneration = Gen;
+      HaveBest = true;
+    }
+    Result.BestHistory.push_back(BestEver);
+
+    if (Gen + 1 == Config.Generations)
+      break;
+
+    // Next generation: elites survive, the rest are bred.
+    std::vector<Chromosome> Next;
+    Next.reserve(Population.size());
+    for (std::size_t E = 0; E < Elite; ++E)
+      Next.push_back(Population[Order[E]]);
+
+    auto SelectParent = [&]() -> const Chromosome & {
+      std::size_t Best = Generator.below(Population.size());
+      for (unsigned T = 1; T < Config.TournamentSize; ++T) {
+        std::size_t Candidate = Generator.below(Population.size());
+        if (Scores[Candidate] < Scores[Best])
+          Best = Candidate;
+      }
+      return Population[Best];
+    };
+
+    while (Next.size() < Population.size()) {
+      const Chromosome &A = SelectParent();
+      const Chromosome &B = SelectParent();
+      Chromosome Child(Config.ChromosomeLength);
+      for (std::size_t Bit = 0; Bit < Child.size(); ++Bit) {
+        // Uniform crossover, then per-bit mutation.
+        bool Gene = Generator.bernoulli(0.5) ? A[Bit] : B[Bit];
+        if (Generator.bernoulli(Config.MutationProbability))
+          Gene = !Gene;
+        Child[Bit] = Gene;
+      }
+      Next.push_back(std::move(Child));
+    }
+    Population = std::move(Next);
+  }
+
+  Result.BestFitness = BestEver;
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- fgbs/ga/GeneticAlgorithm.h - Binary genetic algorithm ---*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A binary-chromosome genetic algorithm, standing in for the GNU R
+/// `genalg` package the paper uses for feature selection (section 4.2):
+/// individuals are 76-bit vectors (bit i set <=> feature i selected),
+/// evolved with elitism, tournament selection, uniform crossover, and
+/// per-bit mutation.  Fitness is MINIMIZED, matching genalg's convention
+/// and the paper's fitness max(err_atom, err_sandybridge) * K.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_GA_GENETICALGORITHM_H
+#define FGBS_GA_GENETICALGORITHM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fgbs {
+
+/// A binary chromosome.
+using Chromosome = std::vector<bool>;
+
+/// Fitness evaluator; lower is better.  Must be deterministic.
+using FitnessFn = std::function<double(const Chromosome &)>;
+
+/// GA configuration.  Defaults follow the paper: population 1000, 100
+/// generations, mutation probability 0.01.
+struct GaConfig {
+  std::size_t ChromosomeLength = 76;
+  std::size_t PopulationSize = 1000;
+  unsigned Generations = 100;
+  double MutationProbability = 0.01;
+  /// Fraction of the population surviving unchanged (genalg elitism).
+  double EliteFraction = 0.20;
+  /// Tournament size for parent selection.
+  unsigned TournamentSize = 3;
+  std::uint64_t Seed = 0x5eedf00d;
+  /// Fitness values are memoized per chromosome (the fitness must be a
+  /// pure function); disable only to measure raw evaluation counts.
+  bool CacheFitness = true;
+};
+
+/// GA outcome.
+struct GaResult {
+  Chromosome Best;
+  double BestFitness = 0.0;
+  /// Best fitness after each generation (Generations entries).
+  std::vector<double> BestHistory;
+  /// Generation index at which the final best first appeared.
+  unsigned ConvergedAtGeneration = 0;
+  /// Number of (non-memoized) fitness evaluations performed.
+  std::uint64_t Evaluations = 0;
+};
+
+/// Runs the GA.  Deterministic given the config seed.
+GaResult runGa(const GaConfig &Config, const FitnessFn &Fitness);
+
+} // namespace fgbs
+
+#endif // FGBS_GA_GENETICALGORITHM_H

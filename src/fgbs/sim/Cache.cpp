@@ -1,0 +1,91 @@
+//===- fgbs/sim/Cache.cpp - Trace-driven cache hierarchy ------------------===//
+
+#include "fgbs/sim/Cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace fgbs;
+
+static unsigned log2Floor(std::uint64_t Value) {
+  assert(Value > 0 && "log2 of zero");
+  unsigned Result = 0;
+  while (Value >>= 1)
+    ++Result;
+  return Result;
+}
+
+CacheLevel::CacheLevel(const CacheLevelConfig &Config) : Config(Config) {
+  assert(Config.LineBytes > 0 && (Config.LineBytes & (Config.LineBytes - 1)) == 0 &&
+         "line size must be a power of two");
+  assert(Config.Associativity > 0 && "associativity must be positive");
+  std::uint64_t Lines = Config.SizeBytes / Config.LineBytes;
+  NumSets = static_cast<unsigned>(
+      std::max<std::uint64_t>(1, Lines / Config.Associativity));
+  LineShift = log2Floor(Config.LineBytes);
+  Sets.resize(NumSets);
+}
+
+bool CacheLevel::lookupAndFill(std::uint64_t Addr, bool CountReference) {
+  std::uint64_t Line = Addr >> LineShift;
+  std::vector<std::uint64_t> &Set = Sets[Line % NumSets];
+
+  auto It = std::find(Set.begin(), Set.end(), Line);
+  if (It != Set.end()) {
+    // Move to MRU position.
+    Set.erase(It);
+    Set.insert(Set.begin(), Line);
+    if (CountReference)
+      ++Hits;
+    return true;
+  }
+
+  if (CountReference)
+    ++Misses;
+  Set.insert(Set.begin(), Line);
+  if (Set.size() > Config.Associativity)
+    Set.pop_back();
+  return false;
+}
+
+bool CacheLevel::access(std::uint64_t Addr) {
+  return lookupAndFill(Addr, /*CountReference=*/true);
+}
+
+void CacheLevel::touch(std::uint64_t Addr) {
+  lookupAndFill(Addr, /*CountReference=*/false);
+}
+
+void CacheLevel::flush() {
+  for (std::vector<std::uint64_t> &Set : Sets)
+    Set.clear();
+}
+
+CacheHierarchy::CacheHierarchy(const Machine &M) {
+  assert(!M.CacheLevels.empty() && "machine without caches");
+  Levels.reserve(M.CacheLevels.size());
+  for (const CacheLevelConfig &Config : M.CacheLevels)
+    Levels.emplace_back(Config);
+}
+
+ServiceLevel CacheHierarchy::access(std::uint64_t Addr) {
+  // Inclusive hierarchy: probe top-down, fill every missing level.
+  ServiceLevel Served = numLevels();
+  for (unsigned L = 0; L < numLevels(); ++L) {
+    if (Levels[L].access(Addr)) {
+      Served = L;
+      break;
+    }
+  }
+  return Served;
+}
+
+void CacheHierarchy::resetCounters() {
+  for (CacheLevel &L : Levels)
+    L.resetCounters();
+}
+
+void CacheHierarchy::flush() {
+  for (CacheLevel &L : Levels)
+    L.flush();
+}

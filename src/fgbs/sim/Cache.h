@@ -1,0 +1,94 @@
+//===- fgbs/sim/Cache.h - Trace-driven cache hierarchy ---------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace-driven, set-associative, LRU, inclusive multi-level data-cache
+/// simulator.  The executor (fgbs/sim/Executor.h) drives it with sampled
+/// address streams derived from codelet access patterns to classify each
+/// stream's steady-state residence level and line traffic; those feed both
+/// the memory-time model and the Likwid-like cache counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SIM_CACHE_H
+#define FGBS_SIM_CACHE_H
+
+#include "fgbs/arch/Machine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace fgbs {
+
+/// One set-associative LRU cache level.
+class CacheLevel {
+public:
+  explicit CacheLevel(const CacheLevelConfig &Config);
+
+  /// Looks up the line containing \p Addr; inserts it on miss.
+  /// \returns true on hit.
+  bool access(std::uint64_t Addr);
+
+  /// Drops all cached lines.
+  void flush();
+
+  /// Pre-loads the line containing \p Addr without counting a reference
+  /// (used to model a warmed cache state).
+  void touch(std::uint64_t Addr);
+
+  std::uint64_t hits() const { return Hits; }
+  std::uint64_t misses() const { return Misses; }
+  void resetCounters() { Hits = Misses = 0; }
+
+  const CacheLevelConfig &config() const { return Config; }
+
+private:
+  /// \returns true if the tag was present; updates LRU order and inserts
+  /// on miss.  \p CountReference controls statistics updates.
+  bool lookupAndFill(std::uint64_t Addr, bool CountReference);
+
+  CacheLevelConfig Config;
+  unsigned NumSets;
+  unsigned LineShift;
+  /// Per-set tag vectors ordered most-recently-used first.
+  std::vector<std::vector<std::uint64_t>> Sets;
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+};
+
+/// Which level served an access (L1 = 0, ..., Memory = number of levels).
+using ServiceLevel = unsigned;
+
+/// An inclusive multi-level hierarchy.
+class CacheHierarchy {
+public:
+  explicit CacheHierarchy(const Machine &M);
+
+  /// Performs one access; \returns the index of the level that served it
+  /// (numLevels() for DRAM).  Stores allocate like loads (write-allocate,
+  /// write-back approximation).
+  ServiceLevel access(std::uint64_t Addr);
+
+  /// Number of cache levels.
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
+
+  /// Access to level statistics.
+  const CacheLevel &level(unsigned Index) const { return Levels[Index]; }
+
+  /// Resets hit/miss counters on all levels.
+  void resetCounters();
+
+  /// Drops all cached state.
+  void flush();
+
+private:
+  std::vector<CacheLevel> Levels;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_SIM_CACHE_H

@@ -1,0 +1,70 @@
+//===- fgbs/sim/Pipeline.h - Analytic core-pipeline model ------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analytic execution-core model: given a compiled BinaryLoop and a
+/// Machine, bound the cycles one loop-body execution needs, assuming all
+/// memory accesses hit L1 (memory effects are layered on by the
+/// Executor).  This is also the engine behind the MAQAO-like "estimated
+/// IPC assuming L1 hits" static features.
+///
+/// Modeled bounds, combined per the core's issue discipline:
+///  - dispatch-port pressure (greedy least-loaded assignment),
+///  - issue width,
+///  - loop-carried dependency chains (latency / chain parallelism),
+///  - divider occupancy (div/sqrt unpipelined; libm blocks),
+///  - in-order issue exposure (latency not hidden by OoO scheduling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SIM_PIPELINE_H
+#define FGBS_SIM_PIPELINE_H
+
+#include "fgbs/arch/Machine.h"
+#include "fgbs/compiler/BinaryLoop.h"
+
+#include <array>
+
+namespace fgbs {
+
+/// Per-bound cycle breakdown for one loop-body execution.
+struct ComputeBreakdown {
+  /// Dispatch cycles accumulated on each port.
+  std::array<double, NumPorts> PortCycles{};
+  /// Largest per-port pressure.
+  double MaxPortCycles = 0.0;
+  /// Total uops / issue width.
+  double IssueCycles = 0.0;
+  /// Loop-carried chain latency / chain parallelism.
+  double DepCycles = 0.0;
+  /// Divider + transcendental serial occupancy.
+  double DividerCycles = 0.0;
+  /// Total decoded uops.
+  double Uops = 0.0;
+  /// Combined compute bound (cycles per body execution, L1-resident).
+  double ComputeCycles = 0.0;
+
+  /// Instructions per cycle implied by the combined bound.
+  double ipc(double Instructions) const {
+    return ComputeCycles > 0.0 ? Instructions / ComputeCycles : 0.0;
+  }
+};
+
+/// Latency in cycles of \p I on \p M (scalar-op latency; vector cracking
+/// is accounted in throughput, not latency).
+double latencyOf(const Inst &I, const Machine &M);
+
+/// Decoded-uop cost of \p I on \p M (vector FP ops crack into several
+/// uops on Atom-class cores).
+double uopCost(const Inst &I, const Machine &M);
+
+/// Computes the compute-bound breakdown of \p Loop on \p M.
+ComputeBreakdown computeBound(const BinaryLoop &Loop, const Machine &M);
+
+} // namespace fgbs
+
+#endif // FGBS_SIM_PIPELINE_H

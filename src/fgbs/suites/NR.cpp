@@ -1,0 +1,430 @@
+//===- fgbs/suites/NR.cpp - The Numerical Recipes corpus ------------------===//
+//
+// 28 Numerical Recipes codelets following paper Table 3: computation
+// pattern, dominant strides, and precision per row.  Every NR application
+// maps one-to-one onto a codelet and all codelets are well-behaved under
+// extraction (section 4.1), so none carry behaviour traits.
+//
+// Where our vectorizer's rules cannot reproduce a partial vectorization
+// ratio exactly (Table 3 reports MAQAO percentages like 78% or 33%), the
+// codelet is written so that its vector/scalar mix lands on the same side:
+// descending-stride and non-unit-stride statements stay scalar, unit-
+// stride statements vectorize.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/suites/Suites.h"
+
+#include "fgbs/dsl/Builder.h"
+
+using namespace fgbs;
+
+namespace {
+
+/// Wraps a single codelet into its own single-kernel application
+/// (NR benchmarks are exactly one kernel each).
+Application app(Codelet C) {
+  Application App;
+  App.Name = C.App;
+  App.Coverage = 1.0;
+  App.Codelets.push_back(std::move(C));
+  return App;
+}
+
+/// A stencil-neighborhood expression: one multi-point stencil load plus
+/// the add/mul chain a \p Planes-plane \p Adds-add kernel performs.
+/// Constants (coefficients) live in registers and cost no instructions.
+ExprPtr stencilSum(const CodeletBuilder &B, unsigned Array, unsigned Planes,
+                   unsigned Adds) {
+  ExprPtr Acc = mul(constant(Precision::DP),
+                    B.ld(Array, StrideClass::Stencil, 1, Planes));
+  for (unsigned I = 0; I < Adds; ++I)
+    Acc = add(std::move(Acc), constant(Precision::DP));
+  return Acc;
+}
+
+Codelet toeplz1() {
+  CodeletBuilder B("toeplz_1", "toeplz_1");
+  B.pattern("DP: 2 simultaneous reductions");
+  unsigned X = B.array("x", Precision::DP, 1 << 20);
+  unsigned R = B.array("r", Precision::DP, 1 << 20);
+  unsigned G = B.array("g", Precision::DP, 1 << 20);
+  unsigned H = B.array("h", Precision::DP, 1 << 20);
+  B.loops(1 << 20);
+  // Ascending x against descending r: stays scalar; the second reduction
+  // is fully contiguous and vectorizes -> "V + S" like Table 3.
+  B.stmt(reduce(BinOp::Add, mul(B.ld(X, StrideClass::Unit),
+                                B.ld(R, StrideClass::NegUnit))));
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(G, StrideClass::Unit), B.ld(H, StrideClass::Unit))));
+  B.invocations(300);
+  return B.take();
+}
+
+Codelet rstrct29() {
+  CodeletBuilder B("rstrct_29", "rstrct_29");
+  B.pattern("DP: MG Laplacian fine to coarse mesh transition");
+  unsigned Fine = B.array("uf", Precision::DP, 2 << 20);
+  unsigned Coarse = B.array("uc", Precision::DP, 256 << 10);
+  B.loops(/*InnerTripCount=*/256 << 10, /*OuterIterations=*/4);
+  // Half-weighting: a vectorizable plane smooth plus a scalar stride-2
+  // fine-grid gather.
+  B.stmt(storeTo(B.at(Coarse, StrideClass::Unit),
+                 stencilSum(B, Fine, /*Planes=*/3, /*Adds=*/4)));
+  B.stmt(storeTo(B.at(Coarse, StrideClass::Unit),
+                 mul(constant(Precision::DP),
+                     B.ld(Fine, StrideClass::Small, 2))));
+  B.invocations(120);
+  return B.take();
+}
+
+Codelet mprove8() {
+  CodeletBuilder B("mprove_8", "mprove_8");
+  B.pattern("MP: Dense Matrix x vector product");
+  unsigned A = B.array("a", Precision::SP, 1000 * 1000);
+  unsigned X = B.array("x", Precision::DP, 1000);
+  B.loops(/*InnerTripCount=*/1000, /*OuterIterations=*/1000);
+  // SP matrix against DP vector: mixed precision costs conversions,
+  // yielding the partially vectorized profile of Table 3.
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(A, StrideClass::Unit), B.ld(X, StrideClass::Unit))));
+  B.invocations(200);
+  return B.take();
+}
+
+Codelet toeplz4() {
+  CodeletBuilder B("toeplz_4", "toeplz_4");
+  B.pattern("DP: Vector multiply in asc./desc. order");
+  unsigned X = B.array("x", Precision::DP, 1 << 20);
+  unsigned Y = B.array("y", Precision::DP, 1 << 20);
+  B.loops(1 << 20);
+  // Levinson-style update: the store feeds the next iteration, which
+  // defeats vectorization (Table 3 reports a mostly scalar loop).
+  B.stmt(recurrence(B.at(X, StrideClass::Unit),
+                    add(mul(B.ld(Y, StrideClass::Unit),
+                            constant(Precision::DP)),
+                        constant(Precision::DP))));
+  B.invocations(150);
+  return B.take();
+}
+
+Codelet realft4() {
+  CodeletBuilder B("realft_4", "realft_4");
+  B.pattern("DP: FFT butterfly computation");
+  unsigned D1 = B.array("data_even", Precision::DP, 1 << 20);
+  unsigned D2 = B.array("data_odd", Precision::DP, 1 << 20);
+  B.loops(1 << 19);
+  B.stmt(storeTo(B.at(D1, StrideClass::Small, 2),
+                 sub(mul(B.ld(D1, StrideClass::Small, 2),
+                         constant(Precision::DP)),
+                     mul(B.ld(D2, StrideClass::Small, -2),
+                         constant(Precision::DP)))));
+  B.stmt(storeTo(B.at(D2, StrideClass::Small, -2),
+                 add(mul(B.ld(D1, StrideClass::Small, 2),
+                         constant(Precision::DP)),
+                     mul(B.ld(D2, StrideClass::Small, -2),
+                         constant(Precision::DP)))));
+  B.invocations(200);
+  return B.take();
+}
+
+Codelet toeplz3() {
+  CodeletBuilder B("toeplz_3", "toeplz_3");
+  B.pattern("DP: 3 simultaneous reductions");
+  unsigned X = B.array("x", Precision::DP, 700 << 10);
+  unsigned Y = B.array("y", Precision::DP, 700 << 10);
+  unsigned Z = B.array("z", Precision::DP, 700 << 10);
+  B.loops(700 << 10);
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(X, StrideClass::Unit), B.ld(Y, StrideClass::Unit))));
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(Y, StrideClass::Unit), B.ld(Z, StrideClass::Unit))));
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(X, StrideClass::Unit), B.ld(Z, StrideClass::Unit))));
+  B.invocations(250);
+  return B.take();
+}
+
+Codelet svbksb3() {
+  CodeletBuilder B("svbksb_3", "svbksb_3");
+  B.pattern("SP: Dense Matrix x vector product");
+  unsigned A = B.array("u", Precision::SP, 1200 * 1200);
+  unsigned X = B.array("tmp", Precision::SP, 1200);
+  B.loops(/*InnerTripCount=*/1200, /*OuterIterations=*/1200);
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(A, StrideClass::Unit), B.ld(X, StrideClass::Unit))));
+  B.invocations(150);
+  return B.take();
+}
+
+Codelet lop13() {
+  CodeletBuilder B("lop_13", "lop_13");
+  B.pattern("DP: Laplacian finite difference constant coefficients");
+  unsigned U = B.array("u", Precision::DP, 1 << 20);
+  unsigned Out = B.array("out", Precision::DP, 1 << 20);
+  B.loops(1 << 20);
+  B.stmt(storeTo(B.at(Out, StrideClass::Unit),
+                 stencilSum(B, U, /*Planes=*/3, /*Adds=*/4)));
+  B.invocations(180);
+  return B.take();
+}
+
+Codelet toeplz2() {
+  CodeletBuilder B("toeplz_2", "toeplz_2");
+  B.pattern("DP: Vector multiply element wise in asc./desc. order");
+  unsigned A = B.array("a", Precision::DP, 1 << 20);
+  unsigned Bv = B.array("b", Precision::DP, 1 << 20);
+  unsigned C = B.array("c", Precision::DP, 1 << 20);
+  B.loops(1 << 20);
+  B.stmt(storeTo(B.at(C, StrideClass::Unit),
+                 mul(B.ld(A, StrideClass::Unit),
+                     B.ld(Bv, StrideClass::NegUnit))));
+  B.invocations(200);
+  return B.take();
+}
+
+Codelet four12() {
+  CodeletBuilder B("four1_2", "four1_2");
+  B.pattern("MP: First step FFT");
+  unsigned Data = B.array("data", Precision::SP, 1 << 21);
+  B.loops(1 << 19);
+  // Interleaved complex data at stride 4 with DP twiddle factors.
+  B.stmt(storeTo(B.at(Data, StrideClass::Small, 4),
+                 sub(mul(B.ld(Data, StrideClass::Small, 4),
+                         constant(Precision::DP)),
+                     mul(B.ld(Data, StrideClass::Small, 4),
+                         constant(Precision::DP)))));
+  B.invocations(150);
+  return B.take();
+}
+
+Codelet tridag(const char *Name, StrideClass Direction) {
+  CodeletBuilder B(Name, Name);
+  B.pattern("DP: First order recurrence");
+  unsigned U = B.array("u", Precision::DP, 800 << 10);
+  unsigned R = B.array("r", Precision::DP, 800 << 10);
+  unsigned Gam = B.array("gam", Precision::DP, 800 << 10);
+  B.loops(800 << 10);
+  B.stmt(recurrence(B.at(U, Direction),
+                    sub(B.ld(R, Direction),
+                        mul(B.ld(Gam, Direction), constant(Precision::DP)))));
+  B.invocations(180);
+  return B.take();
+}
+
+Codelet ludcmp4() {
+  CodeletBuilder B("ludcmp_4", "ludcmp_4");
+  B.pattern("SP: Dot product over lower half square matrix");
+  unsigned A = B.array("a", Precision::SP, 1200 * 1200);
+  unsigned Bv = B.array("b", Precision::SP, 1200 * 1200);
+  B.loops(/*InnerTripCount=*/600, /*OuterIterations=*/1200);
+  // Row walk vectorizes; the column (LDA) walk stays scalar.
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(A, StrideClass::Unit), B.ld(Bv, StrideClass::Unit))));
+  B.stmt(reduce(BinOp::Add, mul(B.ld(A, StrideClass::Unit),
+                                B.ld(Bv, StrideClass::Lda, 1200))));
+  B.invocations(150);
+  return B.take();
+}
+
+Codelet hqr15() {
+  CodeletBuilder B("hqr_15", "hqr_15");
+  B.pattern("SP: Addition on the diagonal elements of a matrix");
+  unsigned A = B.array("a", Precision::SP, 1200 * 1200);
+  B.loops(/*InnerTripCount=*/1200, /*OuterIterations=*/800);
+  B.stmt(storeTo(B.at(A, StrideClass::Lda, 1201),
+                 add(B.ld(A, StrideClass::Lda, 1201),
+                     constant(Precision::SP))));
+  B.invocations(100);
+  return B.take();
+}
+
+Codelet relax226() {
+  CodeletBuilder B("relax2_26", "relax2_26");
+  B.pattern("DP: Red Black Sweeps Laplacian operator");
+  unsigned U = B.array("u", Precision::DP, 1536 << 10);
+  unsigned Rhs = B.array("rhs", Precision::DP, 1536 << 10);
+  B.loops(/*InnerTripCount=*/768 << 10);
+  // Red-black: every other point, so the loop cannot vectorize.
+  B.stmt(storeTo(B.at(U, StrideClass::Small, 2),
+                 mul(constant(Precision::DP),
+                     add(stencilSum(B, U, /*Planes=*/3, /*Adds=*/2),
+                         B.ld(Rhs, StrideClass::Small, 2)))));
+  B.invocations(120);
+  return B.take();
+}
+
+Codelet svdcmp14() {
+  CodeletBuilder B("svdcmp_14", "svdcmp_14");
+  B.pattern("DP: Vector divide element wise");
+  unsigned X = B.array("x", Precision::DP, 600 << 10);
+  B.loops(600 << 10);
+  B.stmt(storeTo(B.at(X, StrideClass::Unit),
+                 div(B.ld(X, StrideClass::Unit), constant(Precision::DP))));
+  B.invocations(200);
+  return B.take();
+}
+
+Codelet svdcmp13() {
+  CodeletBuilder B("svdcmp_13", "svdcmp_13");
+  B.pattern("DP: Norm + Vector divide");
+  unsigned X = B.array("x", Precision::DP, 600 << 10);
+  unsigned Y = B.array("y", Precision::DP, 600 << 10);
+  B.loops(600 << 10);
+  B.stmt(reduce(BinOp::Add,
+                mul(B.ld(X, StrideClass::Unit), B.ld(X, StrideClass::Unit))));
+  B.stmt(storeTo(B.at(Y, StrideClass::Unit),
+                 div(B.ld(X, StrideClass::Unit), constant(Precision::DP))));
+  B.invocations(200);
+  return B.take();
+}
+
+Codelet hqr13() {
+  CodeletBuilder B("hqr_13", "hqr_13");
+  B.pattern("DP: Sum of the absolute values of a matrix column");
+  unsigned A = B.array("a", Precision::DP, 900 << 10);
+  B.loops(900 << 10);
+  B.stmt(reduce(BinOp::Add, unary(UnOp::Abs, B.ld(A, StrideClass::Unit))));
+  B.invocations(150);
+  return B.take();
+}
+
+Codelet spSum(const char *Name, const char *Pattern, std::uint64_t Elems,
+              std::uint64_t Invocations) {
+  CodeletBuilder B(Name, Name);
+  B.pattern(Pattern);
+  unsigned A = B.array("a", Precision::SP, Elems);
+  B.loops(Elems);
+  B.stmt(reduce(BinOp::Add, add(B.ld(A, StrideClass::Unit),
+                                constant(Precision::SP))));
+  B.invocations(Invocations);
+  return B.take();
+}
+
+Codelet svdcmp11() {
+  CodeletBuilder B("svdcmp_11", "svdcmp_11");
+  B.pattern("DP: Multiplying a matrix row by a scalar");
+  unsigned A = B.array("a", Precision::DP, 1400 * 1400);
+  B.loops(/*InnerTripCount=*/1400, /*OuterIterations=*/700);
+  B.stmt(storeTo(B.at(A, StrideClass::Lda, 1400),
+                 mul(B.ld(A, StrideClass::Lda, 1400),
+                     constant(Precision::DP))));
+  B.invocations(80);
+  return B.take();
+}
+
+Codelet elmhes11() {
+  CodeletBuilder B("elmhes_11", "elmhes_11");
+  B.pattern("DP: Linear combination of matrix rows");
+  unsigned A = B.array("a", Precision::DP, 1400 * 1400);
+  unsigned C = B.array("c", Precision::DP, 1400 * 1400);
+  B.loops(/*InnerTripCount=*/1400, /*OuterIterations=*/700);
+  B.stmt(storeTo(B.at(A, StrideClass::Lda, 1400),
+                 add(B.ld(A, StrideClass::Lda, 1400),
+                     mul(constant(Precision::DP),
+                         B.ld(C, StrideClass::Lda, 1400)))));
+  B.invocations(80);
+  return B.take();
+}
+
+Codelet mprove9() {
+  CodeletBuilder B("mprove_9", "mprove_9");
+  B.pattern("DP: Substracting a vector with a vector");
+  unsigned R = B.array("r", Precision::DP, 1536 << 10);
+  unsigned S = B.array("sdp", Precision::DP, 1536 << 10);
+  B.loops(1536 << 10);
+  B.stmt(storeTo(B.at(R, StrideClass::Unit),
+                 sub(B.ld(R, StrideClass::Unit), B.ld(S, StrideClass::Unit))));
+  B.invocations(150);
+  return B.take();
+}
+
+Codelet matadd16() {
+  CodeletBuilder B("matadd_16", "matadd_16");
+  B.pattern("DP: Sum of two square matrices element wise");
+  unsigned A = B.array("a", Precision::DP, 1200 * 1200);
+  unsigned Bv = B.array("b", Precision::DP, 1200 * 1200);
+  unsigned C = B.array("c", Precision::DP, 1200 * 1200);
+  B.loops(/*InnerTripCount=*/1200 * 1200);
+  B.stmt(storeTo(B.at(C, StrideClass::Unit),
+                 add(B.ld(A, StrideClass::Unit), B.ld(Bv, StrideClass::Unit))));
+  B.invocations(150);
+  return B.take();
+}
+
+Codelet svdcmp6() {
+  CodeletBuilder B("svdcmp_6", "svdcmp_6");
+  B.pattern("DP: Sum of the absolute values of a matrix row");
+  unsigned A = B.array("a", Precision::DP, 1400 * 1400);
+  B.loops(/*InnerTripCount=*/1400, /*OuterIterations=*/700);
+  B.stmt(reduce(BinOp::Add,
+                unary(UnOp::Abs, B.ld(A, StrideClass::Lda, 1400))));
+  B.invocations(100);
+  return B.take();
+}
+
+Codelet elmhes10() {
+  CodeletBuilder B("elmhes_10", "elmhes_10");
+  B.pattern("DP: Linear combination of matrix columns");
+  unsigned A = B.array("a", Precision::DP, 1 << 20);
+  unsigned C = B.array("c", Precision::DP, 1 << 20);
+  B.loops(1 << 20);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 add(B.ld(A, StrideClass::Unit),
+                     mul(constant(Precision::DP),
+                         B.ld(C, StrideClass::Unit)))));
+  B.invocations(180);
+  return B.take();
+}
+
+Codelet balanc3() {
+  CodeletBuilder B("balanc_3", "balanc_3");
+  B.pattern("DP: Vector multiply element wise");
+  unsigned X = B.array("x", Precision::DP, 1200 << 10);
+  B.loops(1200 << 10);
+  B.stmt(storeTo(B.at(X, StrideClass::Unit),
+                 mul(B.ld(X, StrideClass::Unit), constant(Precision::DP))));
+  B.invocations(220);
+  return B.take();
+}
+
+} // namespace
+
+Suite fgbs::makeNumericalRecipes() {
+  Suite S;
+  S.Name = "Numerical Recipes";
+  S.Applications.push_back(app(toeplz1()));
+  S.Applications.push_back(app(rstrct29()));
+  S.Applications.push_back(app(mprove8()));
+  S.Applications.push_back(app(toeplz4()));
+  S.Applications.push_back(app(realft4()));
+  S.Applications.push_back(app(toeplz3()));
+  S.Applications.push_back(app(svbksb3()));
+  S.Applications.push_back(app(lop13()));
+  S.Applications.push_back(app(toeplz2()));
+  S.Applications.push_back(app(four12()));
+  S.Applications.push_back(app(tridag("tridag_2", StrideClass::NegUnit)));
+  S.Applications.push_back(app(tridag("tridag_1", StrideClass::Unit)));
+  S.Applications.push_back(app(ludcmp4()));
+  S.Applications.push_back(app(hqr15()));
+  S.Applications.push_back(app(relax226()));
+  S.Applications.push_back(app(svdcmp14()));
+  S.Applications.push_back(app(svdcmp13()));
+  S.Applications.push_back(app(hqr13()));
+  S.Applications.push_back(
+      app(spSum("hqr_12_sq", "SP: Sum of a square matrix", 1200 << 10, 200)));
+  S.Applications.push_back(app(spSum(
+      "jacobi_5", "SP: Sum of the upper half of a square matrix", 1300 << 10,
+      200)));
+  S.Applications.push_back(app(spSum(
+      "hqr_12", "SP: Sum of the lower half of a square matrix", 1400 << 10,
+      210)));
+  S.Applications.push_back(app(svdcmp11()));
+  S.Applications.push_back(app(elmhes11()));
+  S.Applications.push_back(app(mprove9()));
+  S.Applications.push_back(app(matadd16()));
+  S.Applications.push_back(app(svdcmp6()));
+  S.Applications.push_back(app(elmhes10()));
+  S.Applications.push_back(app(balanc3()));
+  return S;
+}

@@ -1,0 +1,43 @@
+//===- fgbs/suites/Suites.h - NR and NAS SER corpora ------------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two benchmark corpora of the paper's evaluation, rebuilt in the
+/// codelet DSL:
+///
+///  - 28 Numerical Recipes codelets (one per NR benchmark; paper
+///    Table 3 documents their computation patterns, strides, precision
+///    and vectorization, which these definitions follow);
+///
+///  - the 7 NAS SER benchmarks (BT, CG, FT, IS, LU, MG, SP) at CLASS-B
+///    scale, outlined into 67 codelets with plausible kernel mixtures,
+///    footprints and invocation schedules.  CG is dominated by a single
+///    sparse-matvec codelet (95% of its runtime) flagged
+///    cache-state-sensitive, reproducing the Figure 5 Atom outlier; MG's
+///    codelets run at several grid levels per V-cycle, making them
+///    ill-behaved under extraction (the paper excludes MG from the
+///    per-application subsetting of Figure 8 for exactly this reason).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SUITES_SUITES_H
+#define FGBS_SUITES_SUITES_H
+
+#include "fgbs/dsl/Codelet.h"
+
+namespace fgbs {
+
+/// The 28 Numerical Recipes codelets (section 4.3, Table 3).  Every NR
+/// application contains exactly one codelet and is well-behaved.
+Suite makeNumericalRecipes();
+
+/// The 7 NAS SER benchmarks with 67 codelets (section 4.4), CLASS B.
+Suite makeNasSer();
+
+} // namespace fgbs
+
+#endif // FGBS_SUITES_SUITES_H

@@ -1,0 +1,185 @@
+//===- fgbs/suites/Synthetic.cpp - Random suite generation ----------------===//
+
+#include "fgbs/suites/Synthetic.h"
+
+#include "fgbs/dsl/Builder.h"
+#include "fgbs/support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace fgbs;
+
+namespace {
+
+/// The kernel-shape families codelets are drawn from.
+enum class Family {
+  StreamUpdate,
+  Reduction,
+  Recurrence,
+  DivideKernel,
+  ExpKernel,
+  LdaWalk,
+  StencilSweep,
+  IntScatter,
+  Last = IntScatter,
+};
+
+const char *familyName(Family F) {
+  switch (F) {
+  case Family::StreamUpdate:
+    return "stream update";
+  case Family::Reduction:
+    return "reduction";
+  case Family::Recurrence:
+    return "first-order recurrence";
+  case Family::DivideKernel:
+    return "element-wise divide";
+  case Family::ExpKernel:
+    return "exponential kernel";
+  case Family::LdaWalk:
+    return "LDA row walk";
+  case Family::StencilSweep:
+    return "stencil sweep";
+  case Family::IntScatter:
+    return "integer scatter";
+  }
+  return "?";
+}
+
+std::uint64_t logUniform(Rng &R, std::uint64_t Lo, std::uint64_t Hi) {
+  assert(Lo > 0 && Lo <= Hi && "bad log-uniform range");
+  double V = R.uniformIn(std::log(static_cast<double>(Lo)),
+                         std::log(static_cast<double>(Hi)));
+  return static_cast<std::uint64_t>(std::exp(V));
+}
+
+Codelet generate(Rng &R, const SyntheticConfig &Config,
+                 const std::string &App, std::size_t Index) {
+  auto F = static_cast<Family>(
+      R.below(static_cast<std::uint64_t>(Family::Last) + 1));
+  Precision Prec = R.bernoulli(0.3) ? Precision::SP : Precision::DP;
+  std::uint64_t Footprint =
+      logUniform(R, Config.MinFootprintBytes, Config.MaxFootprintBytes);
+  std::uint64_t Elems =
+      std::max<std::uint64_t>(1 << 16, Footprint / bytesPerElement(Prec));
+
+  CodeletBuilder B(App + "/synthetic_" + std::to_string(Index), App);
+  B.pattern(std::string(precisionName(Prec)) + ": synthetic " +
+            familyName(F));
+
+  switch (F) {
+  case Family::StreamUpdate: {
+    unsigned A = B.array("a", Prec, Elems);
+    unsigned X = B.array("x", Prec, Elems);
+    B.loops(Elems);
+    ExprPtr E = add(B.ld(X, StrideClass::Unit),
+                    mul(constant(Prec), B.ld(A, StrideClass::Unit)));
+    for (std::uint64_t Depth = R.below(4); Depth > 0; --Depth)
+      E = add(mul(std::move(E), constant(Prec)), constant(Prec));
+    B.stmt(storeTo(B.at(A, StrideClass::Unit), std::move(E)));
+    break;
+  }
+  case Family::Reduction: {
+    unsigned X = B.array("x", Prec, Elems);
+    B.loops(Elems);
+    B.stmt(reduce(BinOp::Add, mul(B.ld(X, StrideClass::Unit),
+                                  B.ld(X, StrideClass::Unit))));
+    if (R.bernoulli(0.5))
+      B.stmt(reduce(BinOp::Add, B.ld(X, StrideClass::Unit)));
+    break;
+  }
+  case Family::Recurrence: {
+    unsigned X = B.array("x", Prec, Elems);
+    unsigned Y = B.array("y", Prec, Elems);
+    B.loops(Elems);
+    B.stmt(recurrence(B.at(X, StrideClass::Unit),
+                      sub(B.ld(Y, StrideClass::Unit),
+                          mul(B.ld(X, StrideClass::Unit),
+                              constant(Prec)))));
+    break;
+  }
+  case Family::DivideKernel: {
+    unsigned X = B.array("x", Prec, Elems);
+    B.loops(Elems);
+    B.stmt(storeTo(B.at(X, StrideClass::Unit),
+                   div(constant(Prec), B.ld(X, StrideClass::Unit))));
+    break;
+  }
+  case Family::ExpKernel: {
+    unsigned X = B.array("x", Prec, Elems);
+    B.loops(Elems);
+    B.stmt(storeTo(B.at(X, StrideClass::Unit),
+                   unary(UnOp::Exp, mul(B.ld(X, StrideClass::Unit),
+                                        constant(Prec)))));
+    break;
+  }
+  case Family::LdaWalk: {
+    std::int64_t Lda = 256 + static_cast<std::int64_t>(R.below(1024));
+    unsigned A = B.array("a", Prec, Elems);
+    B.loops(Elems / static_cast<std::uint64_t>(Lda) + 1, 32);
+    B.stmt(storeTo(B.at(A, StrideClass::Lda, Lda),
+                   mul(B.ld(A, StrideClass::Lda, Lda), constant(Prec))));
+    break;
+  }
+  case Family::StencilSweep: {
+    unsigned U = B.array("u", Prec, Elems);
+    unsigned Out = B.array("out", Prec, Elems);
+    B.loops(Elems);
+    unsigned Planes = 2 + static_cast<unsigned>(R.below(3));
+    ExprPtr E = mul(constant(Prec),
+                    B.ld(U, StrideClass::Stencil, 1, Planes));
+    for (std::uint64_t Adds = 2 + R.below(5); Adds > 0; --Adds)
+      E = add(std::move(E), constant(Prec));
+    B.stmt(storeTo(B.at(Out, StrideClass::Unit), std::move(E)));
+    break;
+  }
+  case Family::IntScatter: {
+    unsigned K = B.array("keys", Precision::I32, Elems);
+    unsigned H = B.array("hist", Precision::I32,
+                         std::max<std::uint64_t>(1 << 14, Elems / 8));
+    B.loops(Elems);
+    std::int64_t Jump = 257 + static_cast<std::int64_t>(R.below(991));
+    B.stmt(storeTo(B.at(H, StrideClass::Lda, Jump),
+                   add(B.ld(H, StrideClass::Lda, Jump),
+                       mul(B.ld(K, StrideClass::Unit),
+                           constant(Precision::I32)))));
+    break;
+  }
+  }
+
+  // Invocation schedule: 10..500 invocations; ill-behaved codelets get a
+  // second dataset context or context-sensitive compilation.
+  std::uint64_t Invocations = 10 + R.below(490);
+  if (R.bernoulli(Config.IllBehavedProbability)) {
+    if (R.bernoulli(0.5)) {
+      B.invocations(Invocations, 1.0);
+      B.invocations(Invocations, R.uniformIn(0.1, 0.5));
+    } else {
+      B.invocations(Invocations);
+      B.contextSensitiveCompilation();
+    }
+  } else {
+    B.invocations(Invocations);
+  }
+  return B.take();
+}
+
+} // namespace
+
+Suite fgbs::makeSyntheticSuite(const SyntheticConfig &Config) {
+  assert(Config.NumApplications > 0 && Config.CodeletsPerApp > 0 &&
+         "empty synthetic suite requested");
+  Rng R(Config.Seed);
+  Suite S;
+  S.Name = "synthetic-" + std::to_string(Config.Seed);
+  for (std::size_t A = 0; A < Config.NumApplications; ++A) {
+    Application App;
+    App.Name = "syn" + std::to_string(A);
+    App.Coverage = R.uniformIn(0.85, 1.0);
+    for (std::size_t C = 0; C < Config.CodeletsPerApp; ++C)
+      App.Codelets.push_back(generate(R, Config, App.Name, C));
+    S.Applications.push_back(std::move(App));
+  }
+  return S;
+}

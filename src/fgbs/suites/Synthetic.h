@@ -1,0 +1,49 @@
+//===- fgbs/suites/Synthetic.h - Random suite generation --------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded random benchmark-suite generator.  Draws codelets from the
+/// kernel-shape families the NR/NAS corpora exhibit (streaming updates,
+/// reductions, recurrences, divide/exp kernels, strided walks, stencils,
+/// integer scatter), with log-uniform footprints and varied invocation
+/// schedules and behaviour traits.
+///
+/// Used by the fuzz-style round-trip tests (every generated suite must
+/// survive print -> parse -> print), by scalability checks of the
+/// clustering/pipeline stack, and as a quick way to synthesize workloads
+/// when experimenting with the method.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SUITES_SYNTHETIC_H
+#define FGBS_SUITES_SYNTHETIC_H
+
+#include "fgbs/dsl/Codelet.h"
+
+#include <cstdint>
+
+namespace fgbs {
+
+/// Generator parameters.
+struct SyntheticConfig {
+  std::size_t NumApplications = 4;
+  std::size_t CodeletsPerApp = 8;
+  /// Footprints drawn log-uniformly from [MinFootprintBytes, Max...].
+  std::uint64_t MinFootprintBytes = 1 << 20;
+  std::uint64_t MaxFootprintBytes = 64ull << 20;
+  /// Probability that a codelet carries an extraction-hostile trait
+  /// (multi-scale invocations or context-sensitive compilation).
+  double IllBehavedProbability = 0.15;
+  std::uint64_t Seed = 0x5EED;
+};
+
+/// Generates a suite deterministically from \p Config.
+Suite makeSyntheticSuite(const SyntheticConfig &Config = {});
+
+} // namespace fgbs
+
+#endif // FGBS_SUITES_SYNTHETIC_H

@@ -1,0 +1,56 @@
+//===- fgbs/support/Matrix.cpp - Dense row-major matrix ------------------===//
+
+#include "fgbs/support/Matrix.h"
+
+#include <cmath>
+
+using namespace fgbs;
+
+std::vector<double> Matrix::row(std::size_t Row) const {
+  assert(Row < Rows && "row index out of range");
+  return std::vector<double>(Data.begin() + Row * Cols,
+                             Data.begin() + (Row + 1) * Cols);
+}
+
+std::vector<double> Matrix::column(std::size_t Col) const {
+  assert(Col < Cols && "column index out of range");
+  std::vector<double> Out(Rows);
+  for (std::size_t R = 0; R < Rows; ++R)
+    Out[R] = Data[R * Cols + Col];
+  return Out;
+}
+
+void Matrix::setRow(std::size_t Row, const std::vector<double> &Values) {
+  assert(Row < Rows && "row index out of range");
+  assert(Values.size() == Cols && "row width mismatch");
+  for (std::size_t C = 0; C < Cols; ++C)
+    Data[Row * Cols + C] = Values[C];
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double> &Vec) const {
+  assert(Vec.size() == Cols && "vector length mismatch");
+  std::vector<double> Out(Rows, 0.0);
+  for (std::size_t R = 0; R < Rows; ++R) {
+    double Acc = 0.0;
+    for (std::size_t C = 0; C < Cols; ++C)
+      Acc += Data[R * Cols + C] * Vec[C];
+    Out[R] = Acc;
+  }
+  return Out;
+}
+
+double fgbs::squaredDistance(const std::vector<double> &A,
+                             const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dimension mismatch");
+  double Acc = 0.0;
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    double D = A[I] - B[I];
+    Acc += D * D;
+  }
+  return Acc;
+}
+
+double fgbs::euclideanDistance(const std::vector<double> &A,
+                               const std::vector<double> &B) {
+  return std::sqrt(squaredDistance(A, B));
+}

@@ -1,0 +1,75 @@
+//===- fgbs/support/Matrix.h - Dense row-major matrix ----------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense row-major matrix of doubles.  Used for the prediction
+/// model's N x K extrapolation matrix M (paper section 3.5) and for the
+/// feature matrices handed to the clustering code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SUPPORT_MATRIX_H
+#define FGBS_SUPPORT_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace fgbs {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates a \p NumRows x \p NumCols matrix filled with \p Fill.
+  Matrix(std::size_t NumRows, std::size_t NumCols, double Fill = 0.0)
+      : Rows(NumRows), Cols(NumCols), Data(NumRows * NumCols, Fill) {}
+
+  std::size_t rows() const { return Rows; }
+  std::size_t cols() const { return Cols; }
+  bool empty() const { return Data.empty(); }
+
+  double &at(std::size_t Row, std::size_t Col) {
+    assert(Row < Rows && Col < Cols && "matrix index out of range");
+    return Data[Row * Cols + Col];
+  }
+
+  double at(std::size_t Row, std::size_t Col) const {
+    assert(Row < Rows && Col < Cols && "matrix index out of range");
+    return Data[Row * Cols + Col];
+  }
+
+  /// Copies row \p Row into a vector.
+  std::vector<double> row(std::size_t Row) const;
+
+  /// Copies column \p Col into a vector.
+  std::vector<double> column(std::size_t Col) const;
+
+  /// Overwrites row \p Row with \p Values (must have cols() entries).
+  void setRow(std::size_t Row, const std::vector<double> &Values);
+
+  /// Matrix-vector product; \p Vec must have cols() entries.
+  std::vector<double> multiply(const std::vector<double> &Vec) const;
+
+private:
+  std::size_t Rows = 0;
+  std::size_t Cols = 0;
+  std::vector<double> Data;
+};
+
+/// Euclidean distance between two equal-length vectors.
+double euclideanDistance(const std::vector<double> &A,
+                         const std::vector<double> &B);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squaredDistance(const std::vector<double> &A,
+                       const std::vector<double> &B);
+
+} // namespace fgbs
+
+#endif // FGBS_SUPPORT_MATRIX_H

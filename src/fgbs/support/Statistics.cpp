@@ -1,0 +1,88 @@
+//===- fgbs/support/Statistics.cpp - Summary statistics ------------------===//
+
+#include "fgbs/support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace fgbs;
+
+double fgbs::sum(const std::vector<double> &Values) {
+  double Total = 0.0;
+  for (double V : Values)
+    Total += V;
+  return Total;
+}
+
+double fgbs::mean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "mean of an empty vector");
+  return sum(Values) / static_cast<double>(Values.size());
+}
+
+double fgbs::median(std::vector<double> Values) {
+  assert(!Values.empty() && "median of an empty vector");
+  std::size_t N = Values.size();
+  std::size_t Mid = N / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  double Upper = Values[Mid];
+  if (N % 2 == 1)
+    return Upper;
+  double Lower = *std::max_element(Values.begin(), Values.begin() + Mid);
+  return 0.5 * (Lower + Upper);
+}
+
+double fgbs::variance(const std::vector<double> &Values) {
+  assert(!Values.empty() && "variance of an empty vector");
+  double Mean = mean(Values);
+  double Acc = 0.0;
+  for (double V : Values) {
+    double D = V - Mean;
+    Acc += D * D;
+  }
+  return Acc / static_cast<double>(Values.size());
+}
+
+double fgbs::stddev(const std::vector<double> &Values) {
+  return std::sqrt(variance(Values));
+}
+
+double fgbs::geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of an empty vector");
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double fgbs::percentile(std::vector<double> Values, double P) {
+  assert(!Values.empty() && "percentile of an empty vector");
+  assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  std::size_t Lo = static_cast<std::size_t>(Rank);
+  std::size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] + Frac * (Values[Hi] - Values[Lo]);
+}
+
+std::size_t fgbs::argMin(const std::vector<double> &Values) {
+  assert(!Values.empty() && "argMin of an empty vector");
+  return static_cast<std::size_t>(
+      std::min_element(Values.begin(), Values.end()) - Values.begin());
+}
+
+std::size_t fgbs::argMax(const std::vector<double> &Values) {
+  assert(!Values.empty() && "argMax of an empty vector");
+  return static_cast<std::size_t>(
+      std::max_element(Values.begin(), Values.end()) - Values.begin());
+}
+
+double fgbs::percentError(double A, double B) {
+  assert(B != 0.0 && "percent error against a zero baseline");
+  return std::fabs(A - B) / std::fabs(B) * 100.0;
+}

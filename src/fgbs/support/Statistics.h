@@ -1,0 +1,59 @@
+//===- fgbs/support/Statistics.h - Summary statistics ----------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the clustering, prediction-error, and
+/// reduction-factor computations: mean, median, variance, geometric mean,
+/// percentiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SUPPORT_STATISTICS_H
+#define FGBS_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace fgbs {
+
+/// Arithmetic mean of \p Values.  Requires a non-empty input.
+double mean(const std::vector<double> &Values);
+
+/// Median of \p Values (average of the two middle elements for even sizes).
+/// Requires a non-empty input; does not modify the argument.
+double median(std::vector<double> Values);
+
+/// Population variance (divides by N).  Requires a non-empty input.
+double variance(const std::vector<double> &Values);
+
+/// Population standard deviation.
+double stddev(const std::vector<double> &Values);
+
+/// Geometric mean.  All values must be strictly positive.
+double geometricMean(const std::vector<double> &Values);
+
+/// Linear-interpolated percentile, \p P in [0, 100].
+double percentile(std::vector<double> Values, double P);
+
+/// Sum of \p Values (0 for an empty vector).
+double sum(const std::vector<double> &Values);
+
+/// Index of the smallest element.  Requires a non-empty input; ties break
+/// toward the lowest index, so the result is deterministic.
+std::size_t argMin(const std::vector<double> &Values);
+
+/// Index of the largest element.  Requires a non-empty input; ties break
+/// toward the lowest index.
+std::size_t argMax(const std::vector<double> &Values);
+
+/// Relative difference |A - B| / |B| expressed as a percentage.
+/// \p B must be non-zero.
+double percentError(double A, double B);
+
+} // namespace fgbs
+
+#endif // FGBS_SUPPORT_STATISTICS_H

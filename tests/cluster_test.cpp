@@ -1,0 +1,205 @@
+//===- tests/cluster_test.cpp - Normalization, Ward clustering, elbow -----===//
+
+#include "fgbs/cluster/Hierarchical.h"
+
+#include "fgbs/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace fgbs;
+
+namespace {
+
+/// Three well-separated Gaussian blobs in 2D, 10 points each.
+FeatureTable threeBlobs(std::uint64_t Seed = 123) {
+  Rng R(Seed);
+  FeatureTable Points;
+  const double Centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto &Center : Centers)
+    for (int I = 0; I < 10; ++I)
+      Points.push_back(
+          {Center[0] + R.normal(0.0, 0.3), Center[1] + R.normal(0.0, 0.3)});
+  return Points;
+}
+
+} // namespace
+
+TEST(Normalization, ZeroMeanUnitVariance) {
+  FeatureTable Points = {{1.0, 100.0}, {2.0, 200.0}, {3.0, 300.0}};
+  FeatureTable Norm = normalizeFeatures(Points);
+  for (std::size_t D = 0; D < 2; ++D) {
+    double Mean = 0.0;
+    double Var = 0.0;
+    for (const auto &P : Norm)
+      Mean += P[D];
+    Mean /= 3.0;
+    for (const auto &P : Norm)
+      Var += (P[D] - Mean) * (P[D] - Mean);
+    Var /= 3.0;
+    EXPECT_NEAR(Mean, 0.0, 1e-12);
+    EXPECT_NEAR(Var, 1.0, 1e-12);
+  }
+}
+
+TEST(Normalization, ConstantColumnBecomesZero) {
+  FeatureTable Points = {{5.0, 1.0}, {5.0, 2.0}, {5.0, 3.0}};
+  FeatureTable Norm = normalizeFeatures(Points);
+  for (const auto &P : Norm)
+    EXPECT_DOUBLE_EQ(P[0], 0.0);
+}
+
+TEST(Normalization, StatsComputed) {
+  FeatureTable Points = {{2.0}, {4.0}, {6.0}};
+  NormalizationStats S = computeNormalization(Points);
+  EXPECT_DOUBLE_EQ(S.Mean[0], 4.0);
+  EXPECT_NEAR(S.Std[0], std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Clustering, MembersPartitionPoints) {
+  Clustering C;
+  C.K = 2;
+  C.Assignment = {0, 1, 0, 1, 0};
+  auto M = C.members();
+  ASSERT_EQ(M.size(), 2u);
+  EXPECT_EQ(M[0], (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(M[1], (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Clustering, CentroidAndMedoid) {
+  FeatureTable Points = {{0.0}, {1.0}, {5.0}};
+  std::vector<std::size_t> Members = {0, 1, 2};
+  std::vector<double> C = centroidOf(Points, Members);
+  EXPECT_DOUBLE_EQ(C[0], 2.0);
+  // Closest to 2.0 is point 1 (value 1.0).
+  EXPECT_EQ(medoidOf(Points, Members), 1u);
+}
+
+TEST(Clustering, VarianceZeroForSingletons) {
+  FeatureTable Points = {{1.0}, {2.0}, {3.0}};
+  Clustering C;
+  C.K = 3;
+  C.Assignment = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(withinClusterVariance(Points, C), 0.0);
+}
+
+TEST(Clustering, TotalVarianceMatchesSingleCluster) {
+  FeatureTable Points = {{0.0}, {2.0}};
+  EXPECT_DOUBLE_EQ(totalVariance(Points), 2.0); // (1)^2 + (1)^2.
+}
+
+TEST(Hierarchical, RecoverThreeBlobsWithWard) {
+  FeatureTable Points = threeBlobs();
+  Dendrogram Tree = hierarchicalCluster(Points, Linkage::Ward);
+  Clustering C = Tree.cut(3);
+  // Each blob of 10 consecutive points must share one label.
+  for (int Blob = 0; Blob < 3; ++Blob)
+    for (int I = 1; I < 10; ++I)
+      EXPECT_EQ(C.Assignment[Blob * 10 + I], C.Assignment[Blob * 10])
+          << "blob " << Blob;
+  // And the three labels must differ.
+  std::set<int> Labels(C.Assignment.begin(), C.Assignment.end());
+  EXPECT_EQ(Labels.size(), 3u);
+}
+
+class AllLinkages : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(AllLinkages, RecoversSeparatedBlobs) {
+  FeatureTable Points = threeBlobs(77);
+  Dendrogram Tree = hierarchicalCluster(Points, GetParam());
+  Clustering C = Tree.cut(3);
+  std::set<int> Labels(C.Assignment.begin(), C.Assignment.end());
+  EXPECT_EQ(Labels.size(), 3u);
+  for (int Blob = 0; Blob < 3; ++Blob)
+    for (int I = 1; I < 10; ++I)
+      EXPECT_EQ(C.Assignment[Blob * 10 + I], C.Assignment[Blob * 10]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, AllLinkages,
+                         ::testing::Values(Linkage::Ward, Linkage::Single,
+                                           Linkage::Complete,
+                                           Linkage::Average));
+
+TEST(Hierarchical, CutBoundsRespected) {
+  FeatureTable Points = threeBlobs();
+  Dendrogram Tree = hierarchicalCluster(Points);
+  EXPECT_EQ(Tree.cut(1).K, 1u);
+  EXPECT_EQ(Tree.cut(0).K, 1u); // Clamped.
+  EXPECT_EQ(Tree.cut(30).K, 30u);
+  EXPECT_EQ(Tree.cut(100).K, 30u); // Clamped to leaf count.
+}
+
+TEST(Hierarchical, CutKGivesKLabels) {
+  FeatureTable Points = threeBlobs();
+  Dendrogram Tree = hierarchicalCluster(Points);
+  for (unsigned K = 1; K <= 30; ++K) {
+    Clustering C = Tree.cut(K);
+    std::set<int> Labels(C.Assignment.begin(), C.Assignment.end());
+    EXPECT_EQ(Labels.size(), K);
+    EXPECT_EQ(*std::min_element(C.Assignment.begin(), C.Assignment.end()), 0);
+    EXPECT_EQ(*std::max_element(C.Assignment.begin(), C.Assignment.end()),
+              static_cast<int>(K) - 1);
+  }
+}
+
+TEST(Hierarchical, WardHeightsMonotone) {
+  FeatureTable Points = threeBlobs(99);
+  Dendrogram Tree = hierarchicalCluster(Points, Linkage::Ward);
+  const auto &Merges = Tree.merges();
+  for (std::size_t I = 1; I < Merges.size(); ++I)
+    EXPECT_GE(Merges[I].Height, Merges[I - 1].Height - 1e-9);
+}
+
+TEST(Hierarchical, WssDecreasesWithK) {
+  FeatureTable Points = threeBlobs(55);
+  Dendrogram Tree = hierarchicalCluster(Points);
+  double Prev = withinClusterVariance(Points, Tree.cut(1));
+  for (unsigned K = 2; K <= 10; ++K) {
+    double Wss = withinClusterVariance(Points, Tree.cut(K));
+    EXPECT_LE(Wss, Prev + 1e-9);
+    Prev = Wss;
+  }
+}
+
+TEST(Hierarchical, SinglePointDendrogram) {
+  FeatureTable Points = {{1.0, 2.0}};
+  Dendrogram Tree = hierarchicalCluster(Points);
+  EXPECT_EQ(Tree.numLeaves(), 1u);
+  Clustering C = Tree.cut(1);
+  EXPECT_EQ(C.Assignment, (std::vector<int>{0}));
+}
+
+TEST(Hierarchical, ElbowFindsBlobCount) {
+  FeatureTable Points = threeBlobs(31);
+  Dendrogram Tree = hierarchicalCluster(Points);
+  unsigned K = elbowK(Points, Tree, 24, 0.01);
+  EXPECT_EQ(K, 3u);
+}
+
+TEST(Hierarchical, ElbowDegenerateCases) {
+  FeatureTable Identical = {{1.0}, {1.0}, {1.0}};
+  Dendrogram Tree = hierarchicalCluster(Identical);
+  // Zero total variance: nothing to improve.
+  EXPECT_EQ(elbowK(Identical, Tree, 10), 1u);
+}
+
+TEST(RandomClustering, ExactlyKNonEmpty) {
+  for (unsigned K : {1u, 3u, 7u, 20u}) {
+    Clustering C = randomClustering(20, K, /*Seed=*/K * 17);
+    EXPECT_EQ(C.K, K);
+    auto M = C.members();
+    for (const auto &Members : M)
+      EXPECT_FALSE(Members.empty());
+  }
+}
+
+TEST(RandomClustering, DeterministicBySeed) {
+  Clustering A = randomClustering(30, 5, 42);
+  Clustering B = randomClustering(30, 5, 42);
+  EXPECT_EQ(A.Assignment, B.Assignment);
+  Clustering C = randomClustering(30, 5, 43);
+  EXPECT_NE(A.Assignment, C.Assignment);
+}

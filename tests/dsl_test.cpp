@@ -1,0 +1,148 @@
+//===- tests/dsl_test.cpp - Codelet IR and builder ------------------------===//
+
+#include "fgbs/dsl/Builder.h"
+#include "fgbs/dsl/Codelet.h"
+
+#include <gtest/gtest.h>
+
+using namespace fgbs;
+
+namespace {
+
+Codelet makeTriad() {
+  CodeletBuilder B("triad", "demo");
+  B.pattern("DP: triad");
+  unsigned A = B.array("a", Precision::DP, 1000);
+  unsigned X = B.array("x", Precision::DP, 1000);
+  B.loops(1000, 2);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 add(B.ld(X, StrideClass::Unit),
+                     mul(constant(Precision::DP),
+                         B.ld(A, StrideClass::Unit)))));
+  return B.take();
+}
+
+} // namespace
+
+TEST(Dsl, LoopNestTotals) {
+  LoopNest Nest;
+  Nest.InnerTripCount = 100;
+  Nest.OuterIterations = 7;
+  EXPECT_EQ(Nest.totalIterations(), 700u);
+}
+
+TEST(Dsl, BuilderBasics) {
+  Codelet C = makeTriad();
+  EXPECT_EQ(C.Name, "triad");
+  EXPECT_EQ(C.App, "demo");
+  EXPECT_EQ(C.Arrays.size(), 2u);
+  EXPECT_EQ(C.Body.size(), 1u);
+  EXPECT_EQ(C.Nest.totalIterations(), 2000u);
+  EXPECT_EQ(C.totalInvocations(), 1u);
+  EXPECT_EQ(C.footprintBytes(), 2u * 1000 * 8);
+}
+
+TEST(Dsl, DefaultStrides) {
+  CodeletBuilder B("s", "s");
+  unsigned A = B.array("a", Precision::DP, 10);
+  EXPECT_EQ(B.at(A, StrideClass::Zero).StrideElems, 0);
+  EXPECT_EQ(B.at(A, StrideClass::Unit).StrideElems, 1);
+  EXPECT_EQ(B.at(A, StrideClass::NegUnit).StrideElems, -1);
+  EXPECT_EQ(B.at(A, StrideClass::Small).StrideElems, 4);
+  EXPECT_EQ(B.at(A, StrideClass::Lda).StrideElems, 512);
+  EXPECT_EQ(B.at(A, StrideClass::Stencil).StrideElems, 1);
+  EXPECT_EQ(B.at(A, StrideClass::Stencil, 1, 5).PointsPerIter, 5u);
+  // take() requires a body; give it one.
+  B.stmt(reduce(BinOp::Add, B.ld(A, StrideClass::Unit)));
+  (void)B.take();
+}
+
+TEST(Dsl, InvocationGroups) {
+  CodeletBuilder B("multi", "demo");
+  unsigned A = B.array("a", Precision::DP, 100);
+  B.loops(100);
+  B.stmt(reduce(BinOp::Add, B.ld(A, StrideClass::Unit)));
+  B.invocations(10, 1.0);
+  B.invocations(30, 0.5);
+  Codelet C = B.take();
+  EXPECT_EQ(C.totalInvocations(), 40u);
+  EXPECT_DOUBLE_EQ(C.capturedDatasetScale(), 1.0);
+  EXPECT_DOUBLE_EQ(C.averageDatasetScale(), (10 * 1.0 + 30 * 0.5) / 40.0);
+}
+
+TEST(Dsl, StrideSummaryOrder) {
+  CodeletBuilder B("strides", "demo");
+  unsigned A = B.array("a", Precision::DP, 100);
+  unsigned Bv = B.array("b", Precision::DP, 100);
+  B.loops(100);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 add(B.ld(Bv, StrideClass::NegUnit),
+                     B.ld(Bv, StrideClass::Zero))));
+  Codelet C = B.take();
+  EXPECT_EQ(C.strideSummary(), "0 & 1 & -1");
+}
+
+TEST(Dsl, CloneIsDeep) {
+  Codelet C = makeTriad();
+  Codelet D = C.clone();
+  EXPECT_EQ(D.Name, C.Name);
+  ASSERT_EQ(D.Body.size(), C.Body.size());
+  EXPECT_NE(D.Body[0].Rhs.get(), C.Body[0].Rhs.get());
+  EXPECT_EQ(D.Body[0].Rhs->Kind, C.Body[0].Rhs->Kind);
+}
+
+TEST(Dsl, CountLoads) {
+  Codelet C = makeTriad();
+  EXPECT_EQ(countLoads(*C.Body[0].Rhs), 2u);
+}
+
+TEST(Dsl, MixedPrecisionPromotion) {
+  ExprPtr E = mul(constant(Precision::SP), constant(Precision::DP));
+  EXPECT_EQ(E->Prec, Precision::DP);
+}
+
+TEST(Dsl, CollectStreams) {
+  Codelet C = makeTriad();
+  std::vector<MemoryStreamDesc> Streams = collectStreams(C);
+  // One store (a), two loads (x, a).
+  ASSERT_EQ(Streams.size(), 3u);
+  EXPECT_TRUE(Streams[0].IsStore);
+  EXPECT_FALSE(Streams[1].IsStore);
+  EXPECT_EQ(Streams[0].StrideBytes, 8);
+  EXPECT_EQ(Streams[0].FootprintBytes, 8000u);
+  EXPECT_EQ(Streams[0].ElemBytes, 8u);
+}
+
+TEST(Dsl, CollectStreamsScales) {
+  Codelet C = makeTriad();
+  std::vector<MemoryStreamDesc> Half = collectStreams(C, 0.5);
+  EXPECT_EQ(Half[0].FootprintBytes, 4000u);
+  // Scale never produces a zero footprint.
+  std::vector<MemoryStreamDesc> Tiny = collectStreams(C, 1e-9);
+  EXPECT_GE(Tiny[0].FootprintBytes, 8u);
+}
+
+TEST(Dsl, SuiteAggregation) {
+  Suite S;
+  S.Name = "mini";
+  Application App;
+  App.Name = "demo";
+  App.Codelets.push_back(makeTriad());
+  App.Codelets.push_back(makeTriad());
+  S.Applications.push_back(std::move(App));
+  EXPECT_EQ(S.numCodelets(), 2u);
+  EXPECT_EQ(S.allCodelets().size(), 2u);
+  EXPECT_EQ(S.allCodelets()[0]->Name, "triad");
+}
+
+TEST(Dsl, StrideClassNames) {
+  EXPECT_EQ(strideClassName(StrideClass::Zero), "0");
+  EXPECT_EQ(strideClassName(StrideClass::Lda), "LDA");
+  EXPECT_EQ(strideClassName(StrideClass::Stencil), "stencil");
+}
+
+TEST(Dsl, BehaviorTraitsDefaultOff) {
+  Codelet C = makeTriad();
+  EXPECT_FALSE(C.Traits.CompilationContextSensitive);
+  EXPECT_FALSE(C.Traits.CacheStateSensitive);
+}

@@ -1,0 +1,228 @@
+//===- tests/executor_test.cpp - Execution model behaviour ----------------===//
+
+#include "fgbs/sim/Executor.h"
+
+#include "fgbs/dsl/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace fgbs;
+
+namespace {
+
+/// Streaming triad over \p Elems DP elements.
+Codelet triad(std::uint64_t Elems) {
+  CodeletBuilder B("exec_triad_" + std::to_string(Elems), "t");
+  unsigned A = B.array("a", Precision::DP, Elems);
+  unsigned X = B.array("x", Precision::DP, Elems);
+  B.loops(Elems);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 add(B.ld(X, StrideClass::Unit),
+                     mul(constant(Precision::DP),
+                         B.ld(A, StrideClass::Unit)))));
+  return B.take();
+}
+
+/// Compute-heavy kernel over a tiny footprint.
+Codelet computeHeavy() {
+  CodeletBuilder B("exec_compute", "t");
+  unsigned X = B.array("x", Precision::DP, 2048);
+  B.loops(2048, 512);
+  ExprPtr E = B.ld(X, StrideClass::Unit);
+  for (int I = 0; I < 8; ++I)
+    E = add(mul(std::move(E), constant(Precision::DP)),
+            constant(Precision::DP));
+  B.stmt(storeTo(B.at(X, StrideClass::Unit), std::move(E)));
+  return B.take();
+}
+
+MemoryStreamDesc stream(std::int64_t StrideBytes, std::uint64_t Footprint,
+                        bool IsStore = false) {
+  return {StrideBytes, Footprint, 1, IsStore, 8};
+}
+
+} // namespace
+
+TEST(MemoryBehavior, SmallFootprintStaysInL1) {
+  Machine M = makeNehalem();
+  std::vector<StreamBehavior> B =
+      sampleMemoryBehavior({stream(8, 8 * 1024)}, M, 1 << 20);
+  ASSERT_EQ(B.size(), 1u);
+  EXPECT_GT(B[0].ServedFraction[0], 0.95);
+}
+
+TEST(MemoryBehavior, HugeFootprintStreamsFromMemory) {
+  Machine M = makeNehalem();
+  std::vector<StreamBehavior> B =
+      sampleMemoryBehavior({stream(8, 256ull << 20)}, M, 1 << 22);
+  // One DP element in eight starts a new line, which comes from DRAM.
+  EXPECT_NEAR(B[0].ServedFraction[3], 0.125, 0.02);
+  EXPECT_NEAR(B[0].ServedFraction[0], 0.875, 0.02);
+}
+
+TEST(MemoryBehavior, MidFootprintServedByL3) {
+  Machine M = makeNehalem();
+  // 4 MB fits L3 (12 MB) but not L2 (256 KB).
+  std::vector<StreamBehavior> B =
+      sampleMemoryBehavior({stream(8, 4ull << 20)}, M, 1 << 22);
+  EXPECT_NEAR(B[0].ServedFraction[2], 0.125, 0.02);
+  EXPECT_LT(B[0].ServedFraction[3], 0.01);
+}
+
+TEST(MemoryBehavior, ZeroStrideAlwaysHits) {
+  Machine M = makeNehalem();
+  std::vector<StreamBehavior> B =
+      sampleMemoryBehavior({stream(0, 64)}, M, 1 << 20);
+  EXPECT_GT(B[0].ServedFraction[0], 0.99);
+}
+
+TEST(MemoryBehavior, NegativeStrideWorks) {
+  Machine M = makeNehalem();
+  std::vector<StreamBehavior> B =
+      sampleMemoryBehavior({stream(-8, 64ull << 20)}, M, 1 << 22);
+  EXPECT_NEAR(B[0].ServedFraction[3], 0.125, 0.02);
+}
+
+TEST(MemoryBehavior, LargeStrideMissesEveryAccess) {
+  Machine M = makeNehalem();
+  // 4 KB stride over 64 MB: every access opens a new line from DRAM.
+  std::vector<StreamBehavior> B =
+      sampleMemoryBehavior({stream(4096, 64ull << 20)}, M, 1 << 20);
+  EXPECT_GT(B[0].ServedFraction[3], 0.9);
+  EXPECT_FALSE(B[0].Prefetchable);
+}
+
+TEST(MemoryBehavior, SmallStridePrefetchable) {
+  Machine M = makeNehalem();
+  std::vector<StreamBehavior> B =
+      sampleMemoryBehavior({stream(8, 1 << 20)}, M, 1 << 20);
+  EXPECT_TRUE(B[0].Prefetchable);
+}
+
+TEST(MemoryBehavior, CachedWrapperMatches) {
+  Machine M = makeNehalem();
+  std::vector<MemoryStreamDesc> S = {stream(8, 1 << 20)};
+  std::vector<StreamBehavior> A = sampleMemoryBehaviorCached(S, M, 1 << 20);
+  std::vector<StreamBehavior> B = sampleMemoryBehaviorCached(S, M, 1 << 20);
+  ASSERT_EQ(A.size(), B.size());
+  EXPECT_EQ(A[0].ServedFraction, B[0].ServedFraction);
+}
+
+TEST(Executor, Deterministic) {
+  Codelet C = triad(1 << 20);
+  ExecutionRequest R;
+  Measurement A = execute(C, makeNehalem(), R);
+  Measurement B = execute(C, makeNehalem(), R);
+  EXPECT_DOUBLE_EQ(A.TrueSeconds, B.TrueSeconds);
+  EXPECT_DOUBLE_EQ(A.MeasuredSeconds, B.MeasuredSeconds);
+}
+
+TEST(Executor, MeasuredCloseToTrue) {
+  Codelet C = triad(1 << 21);
+  Measurement M = execute(C, makeNehalem(), {});
+  EXPECT_GT(M.TrueSeconds, 0.0);
+  EXPECT_NEAR(M.MeasuredSeconds / M.TrueSeconds, 1.0, 0.15);
+}
+
+TEST(Executor, LargerDatasetTakesLonger) {
+  Codelet C = triad(1 << 21);
+  ExecutionRequest Small;
+  Small.DatasetScale = 0.5;
+  ExecutionRequest Large;
+  Large.DatasetScale = 2.0;
+  double TSmall = execute(C, makeNehalem(), Small).TrueSeconds;
+  double TLarge = execute(C, makeNehalem(), Large).TrueSeconds;
+  EXPECT_GT(TLarge, 2.0 * TSmall);
+}
+
+TEST(Executor, MachineOrderingOnComputeKernel) {
+  Codelet C = computeHeavy();
+  double NH = execute(C, makeNehalem(), {}).TrueSeconds;
+  double Atom = execute(C, makeAtom(), {}).TrueSeconds;
+  double C2 = execute(C, makeCore2(), {}).TrueSeconds;
+  double SB = execute(C, makeSandyBridge(), {}).TrueSeconds;
+  // Compute bound: frequency and core width dominate.
+  EXPECT_GT(Atom, NH); // Atom slowest.
+  EXPECT_LT(C2, NH);   // Core 2 wins on frequency.
+  EXPECT_LT(SB, NH);   // Sandy Bridge fastest or near.
+}
+
+TEST(Executor, MemoryBoundSlowerOnCore2) {
+  // Streaming kernel beyond every cache: Core 2's FSB loses to Nehalem.
+  Codelet C = triad(16 << 20);
+  double NH = execute(C, makeNehalem(), {}).TrueSeconds;
+  double C2 = execute(C, makeCore2(), {}).TrueSeconds;
+  EXPECT_GT(C2, NH);
+}
+
+TEST(Executor, CountersConsistent) {
+  Codelet C = triad(1 << 21);
+  Measurement M = execute(C, makeNehalem(), {});
+  const PerfCounters &Ctr = M.Counters;
+  EXPECT_GT(Ctr.Cycles, 0.0);
+  EXPECT_GT(Ctr.Uops, 0.0);
+  EXPECT_GT(Ctr.FpOpsDP, 0.0);
+  EXPECT_DOUBLE_EQ(Ctr.FpOpsSP, 0.0);
+  EXPECT_GT(Ctr.L1Accesses, 0.0);
+  // The cache pyramid: lines entering L1 >= lines from L3 >= from DRAM.
+  EXPECT_GE(Ctr.L2LinesIn, Ctr.L3LinesIn);
+  EXPECT_GE(Ctr.L3LinesIn, Ctr.MemLinesIn);
+  EXPECT_GT(Ctr.LoadBytes, 0.0);
+  EXPECT_GT(Ctr.StoreBytes, 0.0);
+  EXPECT_DOUBLE_EQ(Ctr.Seconds, M.TrueSeconds);
+}
+
+TEST(Executor, WarmReplayOnlyAffectsFlaggedCodelets) {
+  Codelet Plain = triad(256 << 20 >> 3); // 32M elements, streaming.
+  ExecutionRequest Cold;
+  ExecutionRequest Warm;
+  Warm.WarmCacheReplay = true;
+  double PlainCold = execute(Plain, makeAtom(), Cold).TrueSeconds;
+  double PlainWarm = execute(Plain, makeAtom(), Warm).TrueSeconds;
+  EXPECT_DOUBLE_EQ(PlainCold, PlainWarm);
+
+  Codelet Flagged = triad(256 << 20 >> 3);
+  Flagged.Traits.CacheStateSensitive = true;
+  double FlaggedCold = execute(Flagged, makeAtom(), Cold).TrueSeconds;
+  double FlaggedWarm = execute(Flagged, makeAtom(), Warm).TrueSeconds;
+  EXPECT_LT(FlaggedWarm, FlaggedCold);
+}
+
+TEST(Executor, WarmReplayNegligibleOnBigCacheMachines) {
+  Codelet Flagged = triad(1 << 21); // 16 MB streams.
+  Flagged.Traits.CacheStateSensitive = true;
+  ExecutionRequest Cold;
+  ExecutionRequest Warm;
+  Warm.WarmCacheReplay = true;
+  double NHCold = execute(Flagged, makeNehalem(), Cold).TrueSeconds;
+  double NHWarm = execute(Flagged, makeNehalem(), Warm).TrueSeconds;
+  // Footprint/LLC ratio is tiny on Nehalem: no warm-replay advantage.
+  EXPECT_NEAR(NHWarm / NHCold, 1.0, 1e-9);
+}
+
+TEST(Executor, StandaloneCompilationChangesContextSensitiveTime) {
+  Codelet C = triad(1 << 21);
+  C.Traits.CompilationContextSensitive = true;
+  ExecutionRequest InApp;
+  ExecutionRequest Alone;
+  Alone.Context = CompilationContext::Standalone;
+  double TIn = execute(C, makeNehalem(), InApp).TrueSeconds;
+  double TAlone = execute(C, makeNehalem(), Alone).TrueSeconds;
+  // Vectorization lost standalone: must be slower.
+  EXPECT_GT(TAlone, TIn);
+}
+
+TEST(Executor, ShortCodeletsNoisier) {
+  // The noise model must hurt microsecond-scale codelets more than
+  // 100 ms ones.  Compare relative measured/true spread across scales.
+  Codelet Short = triad(1 << 14);
+  Codelet Long = triad(1 << 24);
+  Measurement MS = execute(Short, makeNehalem(), {});
+  Measurement ML = execute(Long, makeNehalem(), {});
+  double ShortDev = std::abs(MS.MeasuredSeconds / MS.TrueSeconds - 1.0);
+  double LongDev = std::abs(ML.MeasuredSeconds / ML.TrueSeconds - 1.0);
+  // Not a strict per-draw guarantee, but the probe overhead alone makes
+  // the short codelet's relative deviation larger.
+  EXPECT_GT(ShortDev + 1e-12, LongDev * 0.01);
+  EXPECT_GT(MS.MeasuredSeconds, MS.TrueSeconds * 0.8);
+}

@@ -1,0 +1,165 @@
+//===- tests/extract_test.cpp - Microbenchmark extraction and selection ---===//
+
+#include "fgbs/extract/Extraction.h"
+
+#include "fgbs/dsl/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace fgbs;
+
+namespace {
+
+Codelet simpleKernel(const char *Name, std::uint64_t Elems) {
+  CodeletBuilder B(Name, "t");
+  unsigned A = B.array("a", Precision::DP, Elems);
+  B.loops(Elems);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 mul(B.ld(A, StrideClass::Unit), constant(Precision::DP))));
+  return B.take();
+}
+
+/// Clusters three points tightly around each of two centers.
+FeatureTable twoClusterPoints() {
+  return {{0.0}, {0.1}, {-0.1}, {10.0}, {10.1}, {9.9}};
+}
+
+Clustering twoClusters() {
+  Clustering C;
+  C.K = 2;
+  C.Assignment = {0, 0, 0, 1, 1, 1};
+  return C;
+}
+
+} // namespace
+
+TEST(Extraction, TimingPolicyMinimumInvocations) {
+  // A long codelet still runs at least 10 invocations.
+  Codelet C = simpleKernel("long", 8 << 20);
+  StandaloneMeasurement M = measureStandalone(C, makeNehalem());
+  EXPECT_EQ(M.Invocations, 10u);
+  EXPECT_NEAR(M.TotalBenchmarkSeconds, 10.0 * M.TrueSeconds, 1e-12);
+}
+
+TEST(Extraction, TimingPolicyMinimumRuntime)
+{
+  // A ~60 us codelet needs ~17 invocations to fill 1 ms.
+  Codelet C = simpleKernel("short", 20000);
+  StandaloneMeasurement M = measureStandalone(C, makeNehalem());
+  EXPECT_GT(M.Invocations, 10u);
+  EXPECT_GE(static_cast<double>(M.Invocations) * M.TrueSeconds, 1e-3);
+}
+
+TEST(Extraction, CustomPolicy) {
+  Codelet C = simpleKernel("policy", 1 << 20);
+  TimingPolicy P;
+  P.MinInvocations = 50;
+  StandaloneMeasurement M = measureStandalone(C, makeNehalem(), P);
+  EXPECT_GE(M.Invocations, 50u);
+}
+
+TEST(Extraction, MedianTracksTrueTime) {
+  Codelet C = simpleKernel("median", 1 << 21);
+  StandaloneMeasurement M = measureStandalone(C, makeNehalem());
+  EXPECT_NEAR(M.MedianSeconds / M.TrueSeconds, 1.0, 0.1);
+}
+
+TEST(Extraction, WellBehavedThreshold) {
+  StandaloneMeasurement M;
+  M.MedianSeconds = 1.05;
+  EXPECT_TRUE(isWellBehaved(M, 1.0));
+  M.MedianSeconds = 1.09;
+  EXPECT_TRUE(isWellBehaved(M, 1.0));
+  M.MedianSeconds = 1.11;
+  EXPECT_FALSE(isWellBehaved(M, 1.0));
+  M.MedianSeconds = 0.85;
+  EXPECT_FALSE(isWellBehaved(M, 1.0));
+  // Custom threshold.
+  EXPECT_TRUE(isWellBehaved(M, 1.0, 0.2));
+}
+
+TEST(Extraction, StandaloneUsesFirstInvocationDataset) {
+  CodeletBuilder B("ctx", "t");
+  unsigned A = B.array("a", Precision::DP, 1 << 20);
+  B.loops(1 << 20);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 mul(B.ld(A, StrideClass::Unit), constant(Precision::DP))));
+  B.invocations(10, 1.0);
+  B.invocations(100, 0.1); // Most invocations are 10x smaller.
+  Codelet C = B.take();
+  StandaloneMeasurement M = measureStandalone(C, makeNehalem());
+  // The standalone time matches the FIRST (large) dataset, far from the
+  // in-app average: the first ill-behaved category.
+  Codelet FullScale = simpleKernel("ctx_ref", 1 << 20);
+  StandaloneMeasurement Ref = measureStandalone(FullScale, makeNehalem());
+  EXPECT_NEAR(M.TrueSeconds / Ref.TrueSeconds, 1.0, 0.05);
+}
+
+TEST(Selection, MedoidChosenWhenAllWellBehaved) {
+  SelectionResult R = selectRepresentatives(
+      twoClusterPoints(), twoClusters(), [](std::size_t) { return true; });
+  EXPECT_EQ(R.FinalK, 2u);
+  ASSERT_EQ(R.Representatives.size(), 2u);
+  // Medoids: point 0 (centroid 0.0) and point 3 (centroid 10.0).
+  EXPECT_EQ(R.Representatives[0], 0u);
+  EXPECT_EQ(R.Representatives[1], 3u);
+  EXPECT_TRUE(R.IllBehaved.empty());
+}
+
+TEST(Selection, FirstMemberWhenMedoidDisabled) {
+  FeatureTable Points = {{0.1}, {0.0}, {10.0}, {10.1}};
+  Clustering C;
+  C.K = 2;
+  C.Assignment = {0, 0, 1, 1};
+  SelectionResult R = selectRepresentatives(
+      Points, C, [](std::size_t) { return true; }, /*PreferMedoid=*/false);
+  EXPECT_EQ(R.Representatives[0], 0u); // Not the medoid (index 1).
+}
+
+TEST(Selection, IllBehavedMedoidSkipped) {
+  SelectionResult R = selectRepresentatives(
+      twoClusterPoints(), twoClusters(),
+      [](std::size_t I) { return I != 0; }); // Medoid of cluster 0 is bad.
+  EXPECT_EQ(R.FinalK, 2u);
+  // Next-closest member picked instead (0.1 or -0.1 -> index 1).
+  EXPECT_EQ(R.Representatives[0], 1u);
+  EXPECT_EQ(R.IllBehaved, (std::vector<std::size_t>{0}));
+}
+
+TEST(Selection, ClusterDestroyedWhenAllIllBehaved) {
+  SelectionResult R = selectRepresentatives(
+      twoClusterPoints(), twoClusters(),
+      [](std::size_t I) { return I >= 3; }); // Cluster 0 entirely bad.
+  EXPECT_EQ(R.FinalK, 1u);
+  ASSERT_EQ(R.Representatives.size(), 1u);
+  EXPECT_EQ(R.Representatives[0], 3u);
+  // Orphans joined the surviving cluster.
+  for (int Label : R.Assignment)
+    EXPECT_EQ(Label, 0);
+  EXPECT_EQ(R.IllBehaved.size(), 3u);
+}
+
+TEST(Selection, AllClustersDestroyed) {
+  SelectionResult R = selectRepresentatives(
+      twoClusterPoints(), twoClusters(), [](std::size_t) { return false; });
+  EXPECT_EQ(R.FinalK, 0u);
+  EXPECT_TRUE(R.Representatives.empty());
+  EXPECT_TRUE(R.Assignment.empty());
+  EXPECT_EQ(R.IllBehaved.size(), 6u);
+}
+
+TEST(Selection, RepresentativeBelongsToItsCluster) {
+  FeatureTable Points = {{0.0}, {1.0}, {2.0}, {10.0}, {11.0}, {12.0}};
+  Clustering C;
+  C.K = 2;
+  C.Assignment = {0, 0, 0, 1, 1, 1};
+  SelectionResult R = selectRepresentatives(Points, C,
+                                            [](std::size_t) { return true; });
+  for (unsigned K = 0; K < R.FinalK; ++K)
+    EXPECT_EQ(R.Assignment[R.Representatives[K]], static_cast<int>(K));
+}
+
+TEST(Extraction, ModeledExtractionCost) {
+  // 18 representatives cost 380 minutes in the paper.
+  EXPECT_NEAR(18.0 * ExtractionMinutesPerCodelet, 380.0, 1e-9);
+}

@@ -1,0 +1,115 @@
+//===- tests/ga_test.cpp - Genetic algorithm --------------- --------------===//
+
+#include "fgbs/ga/GeneticAlgorithm.h"
+
+#include <gtest/gtest.h>
+
+using namespace fgbs;
+
+namespace {
+
+/// OneMax (minimized): number of zero bits.  Optimum is the all-ones
+/// chromosome with fitness 0.
+double oneMax(const Chromosome &C) {
+  double Zeros = 0.0;
+  for (bool Bit : C)
+    Zeros += !Bit;
+  return Zeros;
+}
+
+GaConfig smallConfig() {
+  GaConfig Cfg;
+  Cfg.ChromosomeLength = 32;
+  Cfg.PopulationSize = 60;
+  Cfg.Generations = 60;
+  Cfg.MutationProbability = 0.01;
+  Cfg.Seed = 7;
+  return Cfg;
+}
+
+} // namespace
+
+TEST(Ga, SolvesOneMax) {
+  GaResult R = runGa(smallConfig(), oneMax);
+  EXPECT_LE(R.BestFitness, 1.0); // At most one bit short of optimal.
+  EXPECT_EQ(R.Best.size(), 32u);
+}
+
+TEST(Ga, DeterministicBySeed) {
+  GaResult A = runGa(smallConfig(), oneMax);
+  GaResult B = runGa(smallConfig(), oneMax);
+  EXPECT_EQ(A.Best, B.Best);
+  EXPECT_DOUBLE_EQ(A.BestFitness, B.BestFitness);
+  EXPECT_EQ(A.BestHistory, B.BestHistory);
+}
+
+TEST(Ga, DifferentSeedsExploreDifferently) {
+  GaConfig Cfg = smallConfig();
+  GaResult A = runGa(Cfg, oneMax);
+  Cfg.Seed = 999;
+  GaResult B = runGa(Cfg, oneMax);
+  // Both near-optimal, but the paths differ.
+  EXPECT_NE(A.BestHistory, B.BestHistory);
+}
+
+TEST(Ga, BestNeverWorsens) {
+  GaResult R = runGa(smallConfig(), oneMax);
+  for (std::size_t I = 1; I < R.BestHistory.size(); ++I)
+    EXPECT_LE(R.BestHistory[I], R.BestHistory[I - 1]);
+}
+
+TEST(Ga, HistoryLengthMatchesGenerations) {
+  GaConfig Cfg = smallConfig();
+  Cfg.Generations = 25;
+  GaResult R = runGa(Cfg, oneMax);
+  EXPECT_EQ(R.BestHistory.size(), 25u);
+  EXPECT_LT(R.ConvergedAtGeneration, 25u);
+}
+
+TEST(Ga, CachingReducesEvaluations) {
+  GaConfig Cached = smallConfig();
+  GaConfig Uncached = smallConfig();
+  Uncached.CacheFitness = false;
+  GaResult A = runGa(Cached, oneMax);
+  GaResult B = runGa(Uncached, oneMax);
+  EXPECT_LT(A.Evaluations, B.Evaluations);
+  // Uncached evaluates every individual every generation.
+  EXPECT_EQ(B.Evaluations, 60ull * 60ull);
+  // Caching must not change the outcome.
+  EXPECT_EQ(A.Best, B.Best);
+}
+
+TEST(Ga, RespectsChromosomeLength) {
+  GaConfig Cfg = smallConfig();
+  Cfg.ChromosomeLength = 5;
+  GaResult R = runGa(Cfg, oneMax);
+  EXPECT_EQ(R.Best.size(), 5u);
+  EXPECT_DOUBLE_EQ(R.BestFitness, 0.0); // Trivial to solve.
+}
+
+TEST(Ga, MinimizesNotMaximizes) {
+  // Fitness = number of ONE bits; the GA should drive toward all-zero.
+  GaResult R = runGa(smallConfig(), [](const Chromosome &C) {
+    double Ones = 0.0;
+    for (bool Bit : C)
+      Ones += Bit;
+    return Ones;
+  });
+  EXPECT_LE(R.BestFitness, 1.0);
+}
+
+TEST(Ga, PenalizedEmptySelectionAvoided) {
+  // Feature-selection-style fitness: empty chromosomes are infeasible.
+  GaResult R = runGa(smallConfig(), [](const Chromosome &C) {
+    double Count = 0.0;
+    for (bool Bit : C)
+      Count += Bit;
+    if (Count == 0.0)
+      return 1e9;
+    return Count; // Prefer FEW features, but not zero.
+  });
+  double Count = 0.0;
+  for (bool Bit : R.Best)
+    Count += Bit;
+  EXPECT_EQ(Count, 1.0);
+}

@@ -1,0 +1,134 @@
+//===- tests/isa_arch_test.cpp - ISA vocabulary and machine models --------===//
+
+#include "fgbs/arch/Machine.h"
+#include "fgbs/isa/Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace fgbs;
+
+TEST(Isa, BytesPerElement) {
+  EXPECT_EQ(bytesPerElement(Precision::SP), 4u);
+  EXPECT_EQ(bytesPerElement(Precision::DP), 8u);
+  EXPECT_EQ(bytesPerElement(Precision::I32), 4u);
+  EXPECT_EQ(bytesPerElement(Precision::I64), 8u);
+}
+
+TEST(Isa, FloatingPointPredicates) {
+  EXPECT_TRUE(isFloatingPoint(Precision::SP));
+  EXPECT_TRUE(isFloatingPoint(Precision::DP));
+  EXPECT_FALSE(isFloatingPoint(Precision::I32));
+  EXPECT_TRUE(isFpArith(OpKind::FpDiv));
+  EXPECT_TRUE(isFpArith(OpKind::FpExp));
+  EXPECT_FALSE(isFpArith(OpKind::Load));
+  EXPECT_FALSE(isFpArith(OpKind::IntMul));
+  EXPECT_TRUE(isMemoryOp(OpKind::Load));
+  EXPECT_TRUE(isMemoryOp(OpKind::Store));
+  EXPECT_FALSE(isMemoryOp(OpKind::FpAdd));
+}
+
+TEST(Isa, Classification) {
+  EXPECT_EQ(classify(OpKind::FpAdd, Precision::DP), OpClass::FpAddSub);
+  EXPECT_EQ(classify(OpKind::FpMul, Precision::SP), OpClass::FpMulClass);
+  EXPECT_EQ(classify(OpKind::FpDiv, Precision::DP), OpClass::FpDivClass);
+  EXPECT_EQ(classify(OpKind::FpSqrt, Precision::DP), OpClass::FpDivClass);
+  EXPECT_EQ(classify(OpKind::IntAdd, Precision::I32), OpClass::IntClass);
+  EXPECT_EQ(classify(OpKind::Load, Precision::DP), OpClass::LoadClass);
+  EXPECT_EQ(classify(OpKind::Store, Precision::SP), OpClass::StoreClass);
+  EXPECT_EQ(classify(OpKind::Branch, Precision::I64), OpClass::ControlClass);
+  // FP compares/moves are "other FP"; integer ones are integer class.
+  EXPECT_EQ(classify(OpKind::Compare, Precision::DP), OpClass::OtherFp);
+  EXPECT_EQ(classify(OpKind::Compare, Precision::I64), OpClass::IntClass);
+}
+
+TEST(Isa, ScalarDoubleDetection) {
+  Inst ScalarDpMul{OpKind::FpMul, Precision::DP, 1};
+  Inst VectorDpMul{OpKind::FpMul, Precision::DP, 2};
+  Inst ScalarSpMul{OpKind::FpMul, Precision::SP, 1};
+  Inst ScalarDpLoad{OpKind::Load, Precision::DP, 1};
+  EXPECT_TRUE(ScalarDpMul.isScalarDouble());
+  EXPECT_FALSE(VectorDpMul.isScalarDouble());
+  EXPECT_FALSE(ScalarSpMul.isScalarDouble());
+  EXPECT_FALSE(ScalarDpLoad.isScalarDouble());
+}
+
+TEST(Isa, Flops) {
+  Inst VecAdd{OpKind::FpAdd, Precision::SP, 4};
+  Inst ScalarLoad{OpKind::Load, Precision::SP, 1};
+  EXPECT_EQ(VecAdd.flops(), 4u);
+  EXPECT_EQ(ScalarLoad.flops(), 0u);
+}
+
+TEST(Isa, PortSets) {
+  EXPECT_TRUE(portsFor(OpKind::FpMul).contains(PortId::P0));
+  EXPECT_FALSE(portsFor(OpKind::FpMul).contains(PortId::P1));
+  EXPECT_TRUE(portsFor(OpKind::FpAdd).contains(PortId::P1));
+  EXPECT_EQ(portsFor(OpKind::Load).count(), 2u);
+  EXPECT_TRUE(portsFor(OpKind::Store).contains(PortId::P4));
+  // Every op kind has at least one dispatch port.
+  for (OpKind K : {OpKind::FpAdd, OpKind::FpMul, OpKind::FpDiv, OpKind::FpSqrt,
+                   OpKind::FpExp, OpKind::FpAbs, OpKind::IntAdd, OpKind::IntMul,
+                   OpKind::Load, OpKind::Store, OpKind::Compare, OpKind::Branch,
+                   OpKind::MoveReg})
+    EXPECT_GT(portsFor(K).count(), 0u) << opKindName(K);
+}
+
+TEST(Arch, Table1Values) {
+  Machine NH = makeNehalem();
+  Machine Atom = makeAtom();
+  Machine C2 = makeCore2();
+  Machine SB = makeSandyBridge();
+
+  EXPECT_DOUBLE_EQ(NH.FrequencyGHz, 1.86);
+  EXPECT_DOUBLE_EQ(Atom.FrequencyGHz, 1.66);
+  EXPECT_DOUBLE_EQ(C2.FrequencyGHz, 2.93);
+  EXPECT_DOUBLE_EQ(SB.FrequencyGHz, 3.30);
+
+  EXPECT_EQ(NH.Cores, 4u);
+  EXPECT_EQ(Atom.Cores, 2u);
+  EXPECT_EQ(C2.Cores, 2u);
+  EXPECT_EQ(SB.Cores, 4u);
+
+  // Nehalem and Sandy Bridge have an L3; Atom and Core 2 do not.
+  EXPECT_EQ(NH.CacheLevels.size(), 3u);
+  EXPECT_EQ(SB.CacheLevels.size(), 3u);
+  EXPECT_EQ(Atom.CacheLevels.size(), 2u);
+  EXPECT_EQ(C2.CacheLevels.size(), 2u);
+
+  EXPECT_EQ(NH.CacheLevels.back().SizeBytes, 12ull << 20);
+  EXPECT_EQ(SB.CacheLevels.back().SizeBytes, 8ull << 20);
+
+  // Only Atom issues in order.
+  EXPECT_TRUE(NH.OutOfOrder);
+  EXPECT_FALSE(Atom.OutOfOrder);
+  EXPECT_TRUE(C2.OutOfOrder);
+  EXPECT_TRUE(SB.OutOfOrder);
+}
+
+TEST(Arch, VectorElems) {
+  Machine NH = makeNehalem();
+  EXPECT_EQ(NH.vectorElems(Precision::DP), 2u);
+  EXPECT_EQ(NH.vectorElems(Precision::SP), 4u);
+  EXPECT_EQ(NH.vectorElems(Precision::I32), 4u);
+}
+
+TEST(Arch, BandwidthConversion) {
+  Machine M = makeNehalem();
+  // 8 GB/s at 1.86 GHz is ~4.3 bytes per cycle.
+  EXPECT_NEAR(M.memBandwidthBytesPerCycle(), 8.0 / 1.86, 1e-9);
+}
+
+TEST(Arch, PaperMachineLists) {
+  std::vector<Machine> All = paperMachines();
+  ASSERT_EQ(All.size(), 4u);
+  EXPECT_EQ(All.front().Name, "Nehalem");
+  std::vector<Machine> Targets = paperTargets();
+  ASSERT_EQ(Targets.size(), 3u);
+  for (const Machine &T : Targets)
+    EXPECT_NE(T.Name, "Nehalem");
+}
+
+TEST(Arch, AtomDividerSlowerThanNehalem) {
+  EXPECT_GT(makeAtom().Timings.FpDivLatencyDP,
+            makeNehalem().Timings.FpDivLatencyDP);
+}

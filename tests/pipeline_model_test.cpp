@@ -1,0 +1,133 @@
+//===- tests/pipeline_model_test.cpp - Analytic core model ----------------===//
+
+#include "fgbs/sim/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace fgbs;
+
+namespace {
+
+BinaryLoop loopWith(std::vector<Inst> Body) {
+  BinaryLoop L;
+  L.Body = std::move(Body);
+  L.ElementsPerIter = 1;
+  return L;
+}
+
+} // namespace
+
+TEST(PipelineModel, LatencyTable) {
+  Machine M = makeNehalem();
+  EXPECT_DOUBLE_EQ(latencyOf({OpKind::FpAdd, Precision::DP, 1}, M), 3.0);
+  EXPECT_DOUBLE_EQ(latencyOf({OpKind::FpMul, Precision::DP, 1}, M), 5.0);
+  EXPECT_DOUBLE_EQ(latencyOf({OpKind::FpDiv, Precision::SP, 1}, M), 14.0);
+  EXPECT_DOUBLE_EQ(latencyOf({OpKind::FpDiv, Precision::DP, 1}, M), 22.0);
+  EXPECT_DOUBLE_EQ(latencyOf({OpKind::Load, Precision::DP, 1}, M), 4.0);
+  EXPECT_DOUBLE_EQ(latencyOf({OpKind::IntAdd, Precision::I64, 1}, M), 1.0);
+}
+
+TEST(PipelineModel, UopCostCracksVectorFpOnAtom) {
+  Machine Atom = makeAtom();
+  Machine NH = makeNehalem();
+  Inst VecDpMul{OpKind::FpMul, Precision::DP, 2};
+  Inst VecSpMul{OpKind::FpMul, Precision::SP, 4};
+  Inst VecLoad{OpKind::Load, Precision::DP, 2};
+  EXPECT_DOUBLE_EQ(uopCost(VecDpMul, NH), 1.0);
+  EXPECT_DOUBLE_EQ(uopCost(VecDpMul, Atom), 4.0);
+  EXPECT_DOUBLE_EQ(uopCost(VecSpMul, Atom), 2.0);
+  // Memory ops stay single-uop even on Atom.
+  EXPECT_DOUBLE_EQ(uopCost(VecLoad, Atom), 1.0);
+}
+
+TEST(PipelineModel, PortPressureBalancesLoads) {
+  // Four loads spread over the two load ports: 2 cycles each.
+  BinaryLoop L = loopWith({{OpKind::Load, Precision::DP, 1},
+                           {OpKind::Load, Precision::DP, 1},
+                           {OpKind::Load, Precision::DP, 1},
+                           {OpKind::Load, Precision::DP, 1}});
+  ComputeBreakdown B = computeBound(L, makeNehalem());
+  EXPECT_DOUBLE_EQ(B.PortCycles[2], 2.0);
+  EXPECT_DOUBLE_EQ(B.PortCycles[3], 2.0);
+  EXPECT_DOUBLE_EQ(B.MaxPortCycles, 2.0);
+}
+
+TEST(PipelineModel, IssueBound) {
+  // 8 single-uop instructions on a 4-wide machine: >= 2 cycles.
+  std::vector<Inst> Body(8, {OpKind::IntAdd, Precision::I64, 1});
+  ComputeBreakdown B = computeBound(loopWith(Body), makeNehalem());
+  EXPECT_DOUBLE_EQ(B.IssueCycles, 2.0);
+  EXPECT_GE(B.ComputeCycles, 2.0);
+}
+
+TEST(PipelineModel, DependencyBound) {
+  BinaryLoop L = loopWith({{OpKind::FpMul, Precision::DP, 1}});
+  L.CritChainOps = {{OpKind::FpMul, Precision::DP, 1},
+                    {OpKind::FpAdd, Precision::DP, 1}};
+  L.ChainParallelism = 1;
+  ComputeBreakdown B = computeBound(L, makeNehalem());
+  EXPECT_DOUBLE_EQ(B.DepCycles, 8.0); // 5 + 3.
+  EXPECT_GE(B.ComputeCycles, 8.0);
+}
+
+TEST(PipelineModel, ChainParallelismDividesLatency) {
+  BinaryLoop L = loopWith({{OpKind::FpAdd, Precision::DP, 1}});
+  L.CritChainOps = std::vector<Inst>(4, {OpKind::FpAdd, Precision::DP, 1});
+  L.ChainParallelism = 4;
+  ComputeBreakdown B = computeBound(L, makeNehalem());
+  EXPECT_DOUBLE_EQ(B.DepCycles, 3.0); // 4 adds x 3 cycles / 4 chains.
+}
+
+TEST(PipelineModel, DividerOccupancyUnpipelined) {
+  BinaryLoop L = loopWith({{OpKind::FpDiv, Precision::DP, 1},
+                           {OpKind::FpDiv, Precision::DP, 1}});
+  ComputeBreakdown B = computeBound(L, makeNehalem());
+  EXPECT_DOUBLE_EQ(B.DividerCycles, 44.0);
+  EXPECT_GE(B.ComputeCycles, 44.0);
+}
+
+TEST(PipelineModel, VectorDivOccupiesPerLane) {
+  BinaryLoop Scalar = loopWith({{OpKind::FpDiv, Precision::DP, 1}});
+  BinaryLoop Vector = loopWith({{OpKind::FpDiv, Precision::DP, 2}});
+  Machine M = makeNehalem();
+  double ScalarDiv = computeBound(Scalar, M).DividerCycles;
+  double VectorDiv = computeBound(Vector, M).DividerCycles;
+  // A packed divide costs more than a scalar one but less than two.
+  EXPECT_GT(VectorDiv, ScalarDiv);
+  EXPECT_LT(VectorDiv, 2.0 * ScalarDiv);
+}
+
+TEST(PipelineModel, InOrderSlowerThanOutOfOrder) {
+  // Same loop with a dependency chain: the in-order core must add the
+  // stall, the out-of-order core hides it under throughput.
+  BinaryLoop L = loopWith({{OpKind::FpAdd, Precision::DP, 1},
+                           {OpKind::Load, Precision::DP, 1},
+                           {OpKind::Load, Precision::DP, 1},
+                           {OpKind::FpMul, Precision::DP, 1}});
+  L.CritChainOps = {{OpKind::FpAdd, Precision::DP, 1}};
+  L.ChainParallelism = 1;
+
+  Machine OoO = makeNehalem();
+  Machine InOrder = makeNehalem();
+  InOrder.OutOfOrder = false;
+  double Fast = computeBound(L, OoO).ComputeCycles;
+  double Slow = computeBound(L, InOrder).ComputeCycles;
+  EXPECT_GT(Slow, Fast);
+}
+
+TEST(PipelineModel, UopsAccumulate) {
+  std::vector<Inst> Body(5, {OpKind::FpAdd, Precision::DP, 1});
+  ComputeBreakdown B = computeBound(loopWith(Body), makeNehalem());
+  EXPECT_DOUBLE_EQ(B.Uops, 5.0);
+}
+
+TEST(PipelineModel, IpcHelper) {
+  ComputeBreakdown B;
+  B.ComputeCycles = 4.0;
+  EXPECT_DOUBLE_EQ(B.ipc(8.0), 2.0);
+}
+
+TEST(PipelineModel, EmptyLoopIsFree) {
+  ComputeBreakdown B = computeBound(loopWith({}), makeNehalem());
+  EXPECT_DOUBLE_EQ(B.ComputeCycles, 0.0);
+}

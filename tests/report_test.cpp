@@ -1,0 +1,65 @@
+//===- tests/report_test.cpp - Per-codelet analysis report ----------------===//
+
+#include "fgbs/analysis/Report.h"
+
+#include "fgbs/dsl/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace fgbs;
+
+namespace {
+
+Codelet reportKernel() {
+  CodeletBuilder B("rep/kernel", "rep");
+  B.pattern("DP: report demo");
+  unsigned A = B.array("a", Precision::DP, 1 << 21);
+  unsigned X = B.array("x", Precision::DP, 1 << 21);
+  B.loops(1 << 21);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 div(B.ld(X, StrideClass::Unit), constant(Precision::DP))));
+  B.invocations(25);
+  return B.take();
+}
+
+} // namespace
+
+TEST(Report, ContainsAllSections) {
+  std::ostringstream OS;
+  printCodeletReport(OS, reportKernel(), makeNehalem());
+  std::string Out = OS.str();
+  for (const char *Needle :
+       {"rep/kernel", "DP: report demo", "pipeline bounds", "memory streams",
+        "dynamic profile", "estimated IPC", "MFLOPS", "divider",
+        "compiled loop"})
+    EXPECT_NE(Out.find(Needle), std::string::npos) << Needle;
+}
+
+TEST(Report, ShowsDivideInstructionMix) {
+  std::ostringstream OS;
+  printCodeletReport(OS, reportKernel(), makeNehalem());
+  EXPECT_NE(OS.str().find("fp.div.dp (v)"), std::string::npos);
+}
+
+TEST(Report, WorksOnEveryMachine) {
+  Codelet C = reportKernel();
+  for (const Machine &M : paperMachines()) {
+    std::ostringstream OS;
+    printCodeletReport(OS, C, M);
+    EXPECT_NE(OS.str().find(M.Name), std::string::npos);
+    // Machines without an L3 must not print an L3 column header.
+    if (M.CacheLevels.size() == 2)
+      EXPECT_EQ(OS.str().find("L3 %"), std::string::npos) << M.Name;
+  }
+}
+
+TEST(Report, MemoryBoundShareIsPercentage) {
+  std::ostringstream OS;
+  printCodeletReport(OS, reportKernel(), makeNehalem());
+  std::string Out = OS.str();
+  std::size_t Pos = Out.find("memory-bound share");
+  ASSERT_NE(Pos, std::string::npos);
+  EXPECT_NE(Out.find('%', Pos), std::string::npos);
+}

@@ -1,0 +1,177 @@
+//===- tests/serialization_test.cpp - CSV import/export -------------------===//
+
+#include "fgbs/core/Serialization.h"
+
+#include "fgbs/core/Validation.h"
+#include "fgbs/dsl/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace fgbs;
+
+namespace {
+
+Codelet tinyKernel(const char *Name, const char *App, std::uint64_t Elems) {
+  CodeletBuilder B(Name, App);
+  unsigned A = B.array("a", Precision::DP, Elems);
+  B.loops(Elems);
+  B.stmt(storeTo(B.at(A, StrideClass::Unit),
+                 mul(B.ld(A, StrideClass::Unit), constant(Precision::DP))));
+  B.invocations(8);
+  return B.take();
+}
+
+Suite tinySuite() {
+  Suite S;
+  S.Name = "tiny";
+  Application App;
+  App.Name = "app";
+  App.Coverage = 1.0;
+  App.Codelets.push_back(tinyKernel("app/k1", "app", 1 << 20));
+  App.Codelets.push_back(tinyKernel("app/k2", "app", 2 << 20));
+  App.Codelets.push_back(tinyKernel("app/k3", "app", 3 << 20));
+  S.Applications.push_back(std::move(App));
+  return S;
+}
+
+} // namespace
+
+TEST(FeatureMatrixCsv, RoundTrip) {
+  FeatureTable Points = {{1.5, -2.25, 1e-9}, {3.125, 0.0, 42.0}};
+  std::vector<std::string> Cols = {"a", "b,with comma", "c"};
+  std::vector<std::string> Rows = {"p0", "p1"};
+
+  std::stringstream SS;
+  writeFeatureMatrixCsv(SS, Points, Cols, Rows);
+  std::optional<FeatureMatrixCsv> Back = readFeatureMatrixCsv(SS);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->ColumnNames, Cols);
+  EXPECT_EQ(Back->RowNames, Rows);
+  ASSERT_EQ(Back->Points.size(), 2u);
+  for (std::size_t I = 0; I < Points.size(); ++I)
+    for (std::size_t J = 0; J < Points[I].size(); ++J)
+      EXPECT_DOUBLE_EQ(Back->Points[I][J], Points[I][J]);
+}
+
+TEST(FeatureMatrixCsv, RejectsMalformed) {
+  {
+    std::stringstream SS("not_name,a\nx,1\n");
+    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+  }
+  {
+    std::stringstream SS("name,a,b\nx,1\n"); // Ragged row.
+    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+  }
+  {
+    std::stringstream SS("name,a\nx,notanumber\n");
+    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+  }
+  {
+    std::stringstream SS(""); // Missing header.
+    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+  }
+}
+
+TEST(FeatureMatrixCsv, QuotedCellsRoundTrip) {
+  FeatureTable Points = {{1.0}};
+  std::stringstream SS;
+  writeFeatureMatrixCsv(SS, Points, {"col"}, {"row,with\"quote"});
+  std::optional<FeatureMatrixCsv> Back = readFeatureMatrixCsv(SS);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->RowNames[0], "row,with\"quote");
+}
+
+class SerializationWithDb : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    TheSuite = new Suite(tinySuite());
+    Db = new MeasurementDatabase(*TheSuite, makeNehalem(), paperTargets());
+  }
+  static void TearDownTestSuite() {
+    delete Db;
+    delete TheSuite;
+    Db = nullptr;
+    TheSuite = nullptr;
+  }
+  static Suite *TheSuite;
+  static MeasurementDatabase *Db;
+};
+
+Suite *SerializationWithDb::TheSuite = nullptr;
+MeasurementDatabase *SerializationWithDb::Db = nullptr;
+
+TEST_F(SerializationWithDb, ProfilesCsvShape) {
+  std::stringstream SS;
+  writeProfilesCsv(SS, *Db);
+  std::string Line;
+  ASSERT_TRUE(std::getline(SS, Line));
+  // Header: 4 fixed columns + 76 features.
+  EXPECT_NE(Line.find("codelet,application,discarded"), std::string::npos);
+  EXPECT_NE(Line.find("dynamic.mflops"), std::string::npos);
+  std::size_t Rows = 0;
+  while (std::getline(SS, Line))
+    Rows += !Line.empty();
+  EXPECT_EQ(Rows, Db->numCodelets());
+}
+
+TEST_F(SerializationWithDb, EvaluationCsvShape) {
+  PipelineConfig Cfg;
+  Cfg.K = 2;
+  PipelineResult R = Pipeline(*Db, Cfg).run();
+  std::stringstream SS;
+  writeEvaluationCsv(SS, *Db, R);
+  std::string Header;
+  ASSERT_TRUE(std::getline(SS, Header));
+  EXPECT_NE(Header.find("is_representative"), std::string::npos);
+  EXPECT_NE(Header.find("Atom real_s"), std::string::npos);
+  std::size_t Rows = 0;
+  std::size_t Reps = 0;
+  std::string Line;
+  while (std::getline(SS, Line)) {
+    Rows += !Line.empty();
+    // Column 4 is the representative flag.
+    Reps += Line.find(",1,") != std::string::npos &&
+            Line.rfind("app/", 0) == 0 &&
+            Line.find(",1,") > Line.find(',');
+  }
+  EXPECT_EQ(Rows, R.Kept.size());
+}
+
+TEST_F(SerializationWithDb, LeaveOneOutValidation) {
+  PipelineConfig Cfg;
+  Cfg.K = 1; // One cluster of three: every codelet validatable.
+  PipelineResult R = Pipeline(*Db, Cfg).run();
+  LooResult Loo = leaveOneOutErrors(*Db, R, /*TargetIndex=*/0);
+  ASSERT_EQ(Loo.ErrorsPercent.size(), 3u);
+  EXPECT_EQ(Loo.Skipped, 0u);
+  for (bool V : Loo.Validated)
+    EXPECT_TRUE(V);
+  // Same kernels with different sizes: LOO errors stay moderate.
+  EXPECT_LT(Loo.MedianErrorPercent, 30.0);
+  EXPECT_GT(Loo.MedianErrorPercent, 0.0);
+}
+
+TEST_F(SerializationWithDb, LeaveOneOutSkipsSingletons) {
+  PipelineConfig Cfg;
+  Cfg.K = 3; // All singletons.
+  PipelineResult R = Pipeline(*Db, Cfg).run();
+  LooResult Loo = leaveOneOutErrors(*Db, R, 0);
+  EXPECT_EQ(Loo.Skipped, 3u);
+  for (bool V : Loo.Validated)
+    EXPECT_FALSE(V);
+  EXPECT_DOUBLE_EQ(Loo.MedianErrorPercent, 0.0);
+}
+
+TEST_F(SerializationWithDb, LooRepresentativeAdvantageRemoved) {
+  // LOO error of the representative itself must generally exceed its
+  // trivial in-model error (which is ~0 by construction).
+  PipelineConfig Cfg;
+  Cfg.K = 1;
+  PipelineResult R = Pipeline(*Db, Cfg).run();
+  LooResult Loo = leaveOneOutErrors(*Db, R, 0);
+  std::size_t Rep = R.Selection.Representatives[0];
+  EXPECT_TRUE(Loo.Validated[Rep]);
+  EXPECT_GT(Loo.ErrorsPercent[Rep], 0.0);
+}

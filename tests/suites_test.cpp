@@ -1,0 +1,184 @@
+//===- tests/suites_test.cpp - NR and NAS corpora -------------------------===//
+
+#include "fgbs/suites/Suites.h"
+
+#include "fgbs/compiler/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace fgbs;
+
+TEST(NrSuite, Has28SingleCodeletApplications) {
+  Suite NR = makeNumericalRecipes();
+  EXPECT_EQ(NR.Applications.size(), 28u);
+  EXPECT_EQ(NR.numCodelets(), 28u);
+  for (const Application &App : NR.Applications) {
+    EXPECT_EQ(App.Codelets.size(), 1u);
+    EXPECT_EQ(App.Codelets[0].App, App.Name);
+    EXPECT_DOUBLE_EQ(App.Coverage, 1.0);
+  }
+}
+
+TEST(NrSuite, AllWellBehavedTraits) {
+  // NR codelets are all well-behaved (paper section 4.1): no traits.
+  Suite NR = makeNumericalRecipes();
+  for (const Codelet *C : NR.allCodelets()) {
+    EXPECT_FALSE(C->Traits.CompilationContextSensitive) << C->Name;
+    EXPECT_FALSE(C->Traits.CacheStateSensitive) << C->Name;
+    EXPECT_EQ(C->Invocations.size(), 1u) << C->Name;
+  }
+}
+
+TEST(NrSuite, NamesUniqueAndNonEmpty) {
+  Suite NR = makeNumericalRecipes();
+  std::set<std::string> Names;
+  for (const Codelet *C : NR.allCodelets()) {
+    EXPECT_FALSE(C->Name.empty());
+    EXPECT_FALSE(C->Pattern.empty());
+    Names.insert(C->Name);
+  }
+  EXPECT_EQ(Names.size(), 28u);
+}
+
+TEST(NrSuite, Table3VectorizationShape) {
+  // Spot-check compiled vectorization against Table 3's "Vec." column.
+  Machine Ref = makeNehalem();
+  Suite NR = makeNumericalRecipes();
+  std::map<std::string, std::string> Expected = {
+      {"toeplz_1", "V + S"}, // 78% in the paper.
+      {"toeplz_2", "S"},     // Descending walk stays scalar.
+      {"tridag_1", "S"},     // Recurrence.
+      {"svdcmp_14", "V"},    // Element-wise divide vectorizes.
+      {"matadd_16", "V"},    // Contiguous add.
+      {"svdcmp_11", "S"},    // LDA walk.
+      {"hqr_15", "S"},       // Diagonal walk.
+  };
+  for (const Codelet *C : NR.allCodelets()) {
+    auto It = Expected.find(C->Name);
+    if (It == Expected.end())
+      continue;
+    BinaryLoop Loop = compile(*C, Ref, CompilationContext::InApplication);
+    EXPECT_EQ(vectorizationTag(Loop), It->second) << C->Name;
+  }
+}
+
+TEST(NrSuite, RecurrencesPresent) {
+  // tridag_1/tridag_2/toeplz_4 are first-order recurrences.
+  unsigned Recurrences = 0;
+  Suite NR = makeNumericalRecipes();
+  for (const Codelet *C : NR.allCodelets())
+    for (const Stmt &S : C->Body)
+      Recurrences += S.Kind == StmtKind::Recurrence;
+  EXPECT_GE(Recurrences, 3u);
+}
+
+TEST(NasSuite, Has7AppsAnd67Codelets) {
+  Suite Nas = makeNasSer();
+  EXPECT_EQ(Nas.Applications.size(), 7u);
+  EXPECT_EQ(Nas.numCodelets(), 67u);
+  std::set<std::string> Names;
+  for (const Application &App : Nas.Applications)
+    Names.insert(App.Name);
+  EXPECT_EQ(Names, (std::set<std::string>{"bt", "cg", "ft", "is", "lu", "mg",
+                                          "sp"}));
+}
+
+TEST(NasSuite, CoverageIs92Percent) {
+  for (const Application &App : makeNasSer().Applications)
+    EXPECT_DOUBLE_EQ(App.Coverage, 0.92) << App.Name;
+}
+
+TEST(NasSuite, CodeletNamesCarryAppPrefix) {
+  for (const Application &App : makeNasSer().Applications)
+    for (const Codelet &C : App.Codelets) {
+      EXPECT_EQ(C.App, App.Name);
+      EXPECT_EQ(C.Name.rfind(App.Name + "/", 0), 0u) << C.Name;
+    }
+}
+
+TEST(NasSuite, CgDominatedByCacheSensitiveMatvec) {
+  // The Figure 5 story: one CG codelet holds ~95% of CG's runtime and is
+  // cache-state sensitive.
+  const Application *Cg = nullptr;
+  for (const Application &App : makeNasSer().Applications)
+    if (App.Name == "cg")
+      Cg = &App;
+  ASSERT_NE(Cg, nullptr);
+  unsigned Sensitive = 0;
+  for (const Codelet &C : Cg->Codelets)
+    Sensitive += C.Traits.CacheStateSensitive;
+  EXPECT_EQ(Sensitive, 1u);
+}
+
+TEST(NasSuite, MgCodeletsAllContextVarying) {
+  // MG kernels run across V-cycle levels (or compile context-sensitively):
+  // every one of them must misbehave under extraction, so that
+  // per-application subsetting cannot predict MG (Figure 8).
+  for (const Application &App : makeNasSer().Applications) {
+    if (App.Name != "mg")
+      continue;
+    for (const Codelet &C : App.Codelets) {
+      bool MultiScale = C.Invocations.size() > 1;
+      EXPECT_TRUE(MultiScale || C.Traits.CompilationContextSensitive)
+          << C.Name;
+    }
+  }
+}
+
+TEST(NasSuite, IllBehavedShareNearPaperRate) {
+  // Akel et al.: ~19% of NAS codelets are ill-behaved.  Count trait
+  // carriers (multi-scale invocations or context-sensitive compilation).
+  unsigned Flagged = 0;
+  Suite Nas = makeNasSer();
+  for (const Codelet *C : Nas.allCodelets())
+    Flagged += C->Invocations.size() > 1 ||
+               C->Traits.CompilationContextSensitive ||
+               C->Traits.CacheStateSensitive;
+  double Share = static_cast<double>(Flagged) / Nas.numCodelets();
+  EXPECT_GT(Share, 0.10);
+  EXPECT_LT(Share, 0.30);
+}
+
+TEST(NasSuite, ClusterAPairExists) {
+  // LU/erhs and FT/appft share the div+exp compute-bound shape.
+  Suite Nas = makeNasSer();
+  const Codelet *LuErhs = nullptr;
+  const Codelet *FtAppft = nullptr;
+  for (const Codelet *C : Nas.allCodelets()) {
+    if (C->Name.rfind("lu/erhs", 0) == 0)
+      LuErhs = C;
+    if (C->Name.rfind("ft/appft", 0) == 0)
+      FtAppft = C;
+  }
+  ASSERT_NE(LuErhs, nullptr);
+  ASSERT_NE(FtAppft, nullptr);
+  EXPECT_EQ(LuErhs->Pattern, FtAppft->Pattern);
+}
+
+TEST(NasSuite, ClusterBPairSharesShape) {
+  // BT/rhs.f:266-311 and SP/rhs.f:275-320: five-plane stencils.
+  Suite Nas = makeNasSer();
+  const Codelet *Bt = nullptr;
+  const Codelet *Sp = nullptr;
+  for (const Codelet *C : Nas.allCodelets()) {
+    if (C->Name == "bt/rhs.f:266-311")
+      Bt = C;
+    if (C->Name == "sp/rhs.f:275-320")
+      Sp = C;
+  }
+  ASSERT_NE(Bt, nullptr);
+  ASSERT_NE(Sp, nullptr);
+  EXPECT_EQ(Bt->Pattern, Sp->Pattern);
+  EXPECT_EQ(Bt->strideSummary(), Sp->strideSummary());
+}
+
+TEST(NasSuite, InvocationCountsPositive) {
+  Suite Nas = makeNasSer();
+  for (const Codelet *C : Nas.allCodelets()) {
+    EXPECT_GT(C->totalInvocations(), 0u) << C->Name;
+    EXPECT_GT(C->Nest.totalIterations(), 0u) << C->Name;
+    EXPECT_FALSE(C->Arrays.empty()) << C->Name;
+  }
+}

@@ -1,0 +1,253 @@
+//===- tests/support_test.cpp - Rng, statistics, matrix, tables -----------===//
+
+#include "fgbs/support/Matrix.h"
+#include "fgbs/support/Rng.h"
+#include "fgbs/support/Statistics.h"
+#include "fgbs/support/TextTable.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+using namespace fgbs;
+
+TEST(Rng, DeterministicBySeed) {
+  Rng A(42);
+  Rng B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.nextU64(), B.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1);
+  Rng B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.nextU64() == B.nextU64();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I) {
+    double V = R.uniform();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng R(11);
+  double Sum = 0.0;
+  constexpr int N = 50000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.uniform();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(13);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng R(17);
+  std::set<std::uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.below(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng R(19);
+  constexpr int N = 100000;
+  double Sum = 0.0;
+  double Sq = 0.0;
+  for (int I = 0; I < N; ++I) {
+    double V = R.normal();
+    Sum += V;
+    Sq += V * V;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(Sq / N, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng R(23);
+  constexpr int N = 50000;
+  double Sum = 0.0;
+  for (int I = 0; I < N; ++I)
+    Sum += R.normal(10.0, 2.0);
+  EXPECT_NEAR(Sum / N, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng R(29);
+  EXPECT_FALSE(R.bernoulli(0.0));
+  EXPECT_TRUE(R.bernoulli(1.0));
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng R(31);
+  int Hits = 0;
+  constexpr int N = 50000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng R(37);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng R(41);
+  std::vector<std::size_t> S = R.sampleWithoutReplacement(100, 30);
+  EXPECT_EQ(S.size(), 30u);
+  std::set<std::size_t> Set(S.begin(), S.end());
+  EXPECT_EQ(Set.size(), 30u);
+  for (std::size_t V : S)
+    EXPECT_LT(V, 100u);
+}
+
+TEST(Rng, HashStringStable) {
+  EXPECT_EQ(hashString("abc"), hashString("abc"));
+  EXPECT_NE(hashString("abc"), hashString("abd"));
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Statistics, MedianOdd) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Statistics, MedianEven) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Statistics, MedianSingle) {
+  EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+}
+
+TEST(Statistics, MeanAndSum) {
+  std::vector<double> V = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sum(V), 10.0);
+  EXPECT_DOUBLE_EQ(mean(V), 2.5);
+}
+
+TEST(Statistics, VarianceOfConstant) {
+  EXPECT_DOUBLE_EQ(variance({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Statistics, VarianceKnown) {
+  // Population variance of {1,2,3,4} is 1.25.
+  EXPECT_DOUBLE_EQ(variance({1.0, 2.0, 3.0, 4.0}), 1.25);
+  EXPECT_DOUBLE_EQ(stddev({1.0, 2.0, 3.0, 4.0}), std::sqrt(1.25));
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometricMean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Statistics, PercentileEndpoints) {
+  std::vector<double> V = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 3.0);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25), 2.5);
+}
+
+TEST(Statistics, ArgMinMax) {
+  std::vector<double> V = {3.0, 1.0, 4.0, 1.0, 5.0};
+  EXPECT_EQ(argMin(V), 1u); // First of the tied minima.
+  EXPECT_EQ(argMax(V), 4u);
+}
+
+TEST(Statistics, PercentError) {
+  EXPECT_DOUBLE_EQ(percentError(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentError(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentError(100.0, 100.0), 0.0);
+}
+
+TEST(Matrix, RowColumnRoundTrip) {
+  Matrix M(2, 3);
+  M.setRow(0, {1.0, 2.0, 3.0});
+  M.setRow(1, {4.0, 5.0, 6.0});
+  EXPECT_EQ(M.row(1), (std::vector<double>{4.0, 5.0, 6.0}));
+  EXPECT_EQ(M.column(2), (std::vector<double>{3.0, 6.0}));
+}
+
+TEST(Matrix, MultiplyIdentityLike) {
+  Matrix M(2, 2);
+  M.at(0, 0) = 1.0;
+  M.at(1, 1) = 1.0;
+  EXPECT_EQ(M.multiply({7.0, 9.0}), (std::vector<double>{7.0, 9.0}));
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix M(2, 3);
+  M.setRow(0, {1.0, 0.0, 2.0});
+  M.setRow(1, {0.0, 3.0, 0.0});
+  std::vector<double> Out = M.multiply({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(Out[0], 7.0);
+  EXPECT_DOUBLE_EQ(Out[1], 6.0);
+}
+
+TEST(Matrix, Distances) {
+  std::vector<double> A = {0.0, 0.0};
+  std::vector<double> B = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(squaredDistance(A, B), 25.0);
+  EXPECT_DOUBLE_EQ(euclideanDistance(A, B), 5.0);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatPercent(8.04), "8.0%");
+  EXPECT_EQ(formatFactor(44.3), "x44.3");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"a", "bbbb"});
+  T.addRow({"xx", "y"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("a   bbbb"), std::string::npos);
+  EXPECT_NE(Out.find("xx  y"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"a,b", "1"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_NE(OS.str().find("\"a,b\",1"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorSkippedInCsv) {
+  TextTable T;
+  T.setHeader({"h"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "h\nx\ny\n");
+}

@@ -1,0 +1,100 @@
+//===- tests/synthetic_test.cpp - Generator + fuzz round-trips ------------===//
+
+#include "fgbs/suites/Synthetic.h"
+
+#include "fgbs/compiler/Compiler.h"
+#include "fgbs/core/Pipeline.h"
+#include "fgbs/dsl/Text.h"
+#include "fgbs/sim/Executor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace fgbs;
+
+TEST(Synthetic, DeterministicBySeed) {
+  Suite A = makeSyntheticSuite({});
+  Suite B = makeSyntheticSuite({});
+  EXPECT_EQ(printSuite(A), printSuite(B));
+  SyntheticConfig Other;
+  Other.Seed = 99;
+  EXPECT_NE(printSuite(A), printSuite(makeSyntheticSuite(Other)));
+}
+
+TEST(Synthetic, RespectsShape) {
+  SyntheticConfig Config;
+  Config.NumApplications = 3;
+  Config.CodeletsPerApp = 5;
+  Suite S = makeSyntheticSuite(Config);
+  EXPECT_EQ(S.Applications.size(), 3u);
+  EXPECT_EQ(S.numCodelets(), 15u);
+  std::set<std::string> Names;
+  for (const Codelet *C : S.allCodelets())
+    Names.insert(C->Name);
+  EXPECT_EQ(Names.size(), 15u);
+}
+
+TEST(Synthetic, FootprintsWithinRange) {
+  SyntheticConfig Config;
+  Config.MinFootprintBytes = 4 << 20;
+  Config.MaxFootprintBytes = 8 << 20;
+  Config.Seed = 7;
+  Suite S = makeSyntheticSuite(Config);
+  for (const Codelet *C : S.allCodelets()) {
+    // Multi-array codelets can hold up to ~2.2x the drawn footprint
+    // (two arrays plus rounding up to the minimum element count).
+    EXPECT_GE(C->footprintBytes(), 1u << 20) << C->Name;
+    EXPECT_LE(C->footprintBytes(), 20u << 20) << C->Name;
+  }
+}
+
+class SyntheticSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyntheticSeeds, EveryCodeletCompilesAndExecutes) {
+  SyntheticConfig Config;
+  Config.Seed = GetParam();
+  Config.NumApplications = 2;
+  Config.CodeletsPerApp = 6;
+  Suite S = makeSyntheticSuite(Config);
+  Machine M = makeNehalem();
+  for (const Codelet *C : S.allCodelets()) {
+    BinaryLoop Loop = compile(*C, M, CompilationContext::InApplication);
+    EXPECT_FALSE(Loop.Body.empty()) << C->Name;
+    Measurement R = execute(*C, M, {});
+    EXPECT_GT(R.TrueSeconds, 0.0) << C->Name;
+  }
+}
+
+TEST_P(SyntheticSeeds, TextRoundTripIsFixedPoint) {
+  // Fuzz-style: every generated suite must survive print -> parse ->
+  // print bit-identically.
+  SyntheticConfig Config;
+  Config.Seed = GetParam();
+  Suite S = makeSyntheticSuite(Config);
+  std::string Printed = printSuite(S);
+  ParseResult<Suite> Back = parseSuite(Printed);
+  if (auto *E = std::get_if<ParseError>(&Back))
+    FAIL() << "seed " << GetParam() << ": " << E->render();
+  EXPECT_EQ(printSuite(std::get<Suite>(Back)), Printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(Synthetic, PipelineEndToEnd) {
+  // A generated suite flows through the whole method.
+  SyntheticConfig Config;
+  Config.NumApplications = 2;
+  Config.CodeletsPerApp = 5;
+  Config.MinFootprintBytes = 2 << 20;
+  Config.MaxFootprintBytes = 16 << 20;
+  Config.Seed = 42;
+  Suite S = makeSyntheticSuite(Config);
+  MeasurementDatabase Db(S, makeNehalem(), {makeSandyBridge()});
+  PipelineResult R = Pipeline(Db, PipelineConfig()).run();
+  ASSERT_GT(R.Selection.FinalK, 0u);
+  EXPECT_LE(R.Targets[0].MedianErrorPercent, 50.0);
+  EXPECT_GT(R.Targets[0].Reduction.totalFactor(), 1.0);
+}
