@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cluster_prediction.dir/fig2_cluster_prediction.cpp.o"
+  "CMakeFiles/fig2_cluster_prediction.dir/fig2_cluster_prediction.cpp.o.d"
+  "fig2_cluster_prediction"
+  "fig2_cluster_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cluster_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

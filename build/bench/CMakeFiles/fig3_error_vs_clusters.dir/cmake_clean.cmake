@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_error_vs_clusters.dir/fig3_error_vs_clusters.cpp.o"
+  "CMakeFiles/fig3_error_vs_clusters.dir/fig3_error_vs_clusters.cpp.o.d"
+  "fig3_error_vs_clusters"
+  "fig3_error_vs_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_error_vs_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

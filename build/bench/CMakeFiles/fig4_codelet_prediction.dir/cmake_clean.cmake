@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_codelet_prediction.dir/fig4_codelet_prediction.cpp.o"
+  "CMakeFiles/fig4_codelet_prediction.dir/fig4_codelet_prediction.cpp.o.d"
+  "fig4_codelet_prediction"
+  "fig4_codelet_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_codelet_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_app_prediction.dir/fig5_app_prediction.cpp.o"
+  "CMakeFiles/fig5_app_prediction.dir/fig5_app_prediction.cpp.o.d"
+  "fig5_app_prediction"
+  "fig5_app_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_app_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cross_app_subsetting.dir/fig8_cross_app_subsetting.cpp.o"
+  "CMakeFiles/fig8_cross_app_subsetting.dir/fig8_cross_app_subsetting.cpp.o.d"
+  "fig8_cross_app_subsetting"
+  "fig8_cross_app_subsetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cross_app_subsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_feature_selection.dir/table2_feature_selection.cpp.o"
+  "CMakeFiles/table2_feature_selection.dir/table2_feature_selection.cpp.o.d"
+  "table2_feature_selection"
+  "table2_feature_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_feature_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

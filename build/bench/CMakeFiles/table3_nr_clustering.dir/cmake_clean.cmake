@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nr_clustering.dir/table3_nr_clustering.cpp.o"
+  "CMakeFiles/table3_nr_clustering.dir/table3_nr_clustering.cpp.o.d"
+  "table3_nr_clustering"
+  "table3_nr_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nr_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

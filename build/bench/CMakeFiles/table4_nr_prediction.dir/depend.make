@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_nr_prediction.
+# This may be replaced when dependencies are built.

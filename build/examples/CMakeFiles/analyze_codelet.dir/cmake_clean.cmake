@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_codelet.dir/analyze_codelet.cpp.o"
+  "CMakeFiles/analyze_codelet.dir/analyze_codelet.cpp.o.d"
+  "analyze_codelet"
+  "analyze_codelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_codelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

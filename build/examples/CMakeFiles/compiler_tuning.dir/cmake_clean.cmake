@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_tuning.dir/compiler_tuning.cpp.o"
+  "CMakeFiles/compiler_tuning.dir/compiler_tuning.cpp.o.d"
+  "compiler_tuning"
+  "compiler_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_suite.dir/custom_suite.cpp.o"
+  "CMakeFiles/custom_suite.dir/custom_suite.cpp.o.d"
+  "custom_suite"
+  "custom_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

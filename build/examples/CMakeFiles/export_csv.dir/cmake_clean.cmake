@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_csv.dir/export_csv.cpp.o"
+  "CMakeFiles/export_csv.dir/export_csv.cpp.o.d"
+  "export_csv"
+  "export_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

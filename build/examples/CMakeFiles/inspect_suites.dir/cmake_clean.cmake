@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_suites.dir/inspect_suites.cpp.o"
+  "CMakeFiles/inspect_suites.dir/inspect_suites.cpp.o.d"
+  "inspect_suites"
+  "inspect_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_text_suite.dir/reduce_text_suite.cpp.o"
+  "CMakeFiles/reduce_text_suite.dir/reduce_text_suite.cpp.o.d"
+  "reduce_text_suite"
+  "reduce_text_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_text_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_selection.dir/system_selection.cpp.o"
+  "CMakeFiles/system_selection.dir/system_selection.cpp.o.d"
+  "system_selection"
+  "system_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fgbs/analysis/Features.cpp" "src/CMakeFiles/fgbs.dir/fgbs/analysis/Features.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/analysis/Features.cpp.o.d"
+  "/root/repo/src/fgbs/analysis/Profiler.cpp" "src/CMakeFiles/fgbs.dir/fgbs/analysis/Profiler.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/analysis/Profiler.cpp.o.d"
+  "/root/repo/src/fgbs/analysis/Report.cpp" "src/CMakeFiles/fgbs.dir/fgbs/analysis/Report.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/analysis/Report.cpp.o.d"
+  "/root/repo/src/fgbs/arch/Machine.cpp" "src/CMakeFiles/fgbs.dir/fgbs/arch/Machine.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/arch/Machine.cpp.o.d"
+  "/root/repo/src/fgbs/cluster/Cluster.cpp" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Cluster.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Cluster.cpp.o.d"
+  "/root/repo/src/fgbs/cluster/Hierarchical.cpp" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Hierarchical.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Hierarchical.cpp.o.d"
+  "/root/repo/src/fgbs/cluster/Quality.cpp" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Quality.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Quality.cpp.o.d"
+  "/root/repo/src/fgbs/cluster/Render.cpp" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Render.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/cluster/Render.cpp.o.d"
+  "/root/repo/src/fgbs/compiler/BinaryLoop.cpp" "src/CMakeFiles/fgbs.dir/fgbs/compiler/BinaryLoop.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/compiler/BinaryLoop.cpp.o.d"
+  "/root/repo/src/fgbs/compiler/Compiler.cpp" "src/CMakeFiles/fgbs.dir/fgbs/compiler/Compiler.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/compiler/Compiler.cpp.o.d"
+  "/root/repo/src/fgbs/core/Database.cpp" "src/CMakeFiles/fgbs.dir/fgbs/core/Database.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/core/Database.cpp.o.d"
+  "/root/repo/src/fgbs/core/Pipeline.cpp" "src/CMakeFiles/fgbs.dir/fgbs/core/Pipeline.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/core/Pipeline.cpp.o.d"
+  "/root/repo/src/fgbs/core/Serialization.cpp" "src/CMakeFiles/fgbs.dir/fgbs/core/Serialization.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/core/Serialization.cpp.o.d"
+  "/root/repo/src/fgbs/core/Validation.cpp" "src/CMakeFiles/fgbs.dir/fgbs/core/Validation.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/core/Validation.cpp.o.d"
+  "/root/repo/src/fgbs/dsl/Builder.cpp" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Builder.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Builder.cpp.o.d"
+  "/root/repo/src/fgbs/dsl/Codelet.cpp" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Codelet.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Codelet.cpp.o.d"
+  "/root/repo/src/fgbs/dsl/Expr.cpp" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Expr.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Expr.cpp.o.d"
+  "/root/repo/src/fgbs/dsl/Text.cpp" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Text.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/dsl/Text.cpp.o.d"
+  "/root/repo/src/fgbs/extract/Extraction.cpp" "src/CMakeFiles/fgbs.dir/fgbs/extract/Extraction.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/extract/Extraction.cpp.o.d"
+  "/root/repo/src/fgbs/ga/GeneticAlgorithm.cpp" "src/CMakeFiles/fgbs.dir/fgbs/ga/GeneticAlgorithm.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/ga/GeneticAlgorithm.cpp.o.d"
+  "/root/repo/src/fgbs/isa/Isa.cpp" "src/CMakeFiles/fgbs.dir/fgbs/isa/Isa.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/isa/Isa.cpp.o.d"
+  "/root/repo/src/fgbs/model/Prediction.cpp" "src/CMakeFiles/fgbs.dir/fgbs/model/Prediction.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/model/Prediction.cpp.o.d"
+  "/root/repo/src/fgbs/sim/Cache.cpp" "src/CMakeFiles/fgbs.dir/fgbs/sim/Cache.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/sim/Cache.cpp.o.d"
+  "/root/repo/src/fgbs/sim/Executor.cpp" "src/CMakeFiles/fgbs.dir/fgbs/sim/Executor.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/sim/Executor.cpp.o.d"
+  "/root/repo/src/fgbs/sim/Pipeline.cpp" "src/CMakeFiles/fgbs.dir/fgbs/sim/Pipeline.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/sim/Pipeline.cpp.o.d"
+  "/root/repo/src/fgbs/suites/NAS.cpp" "src/CMakeFiles/fgbs.dir/fgbs/suites/NAS.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/suites/NAS.cpp.o.d"
+  "/root/repo/src/fgbs/suites/NR.cpp" "src/CMakeFiles/fgbs.dir/fgbs/suites/NR.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/suites/NR.cpp.o.d"
+  "/root/repo/src/fgbs/suites/Synthetic.cpp" "src/CMakeFiles/fgbs.dir/fgbs/suites/Synthetic.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/suites/Synthetic.cpp.o.d"
+  "/root/repo/src/fgbs/support/Matrix.cpp" "src/CMakeFiles/fgbs.dir/fgbs/support/Matrix.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/support/Matrix.cpp.o.d"
+  "/root/repo/src/fgbs/support/Rng.cpp" "src/CMakeFiles/fgbs.dir/fgbs/support/Rng.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/support/Rng.cpp.o.d"
+  "/root/repo/src/fgbs/support/Statistics.cpp" "src/CMakeFiles/fgbs.dir/fgbs/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/support/Statistics.cpp.o.d"
+  "/root/repo/src/fgbs/support/TextTable.cpp" "src/CMakeFiles/fgbs.dir/fgbs/support/TextTable.cpp.o" "gcc" "src/CMakeFiles/fgbs.dir/fgbs/support/TextTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_arch_test.dir/isa_arch_test.cpp.o"
+  "CMakeFiles/isa_arch_test.dir/isa_arch_test.cpp.o.d"
+  "isa_arch_test"
+  "isa_arch_test.pdb"
+  "isa_arch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_arch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

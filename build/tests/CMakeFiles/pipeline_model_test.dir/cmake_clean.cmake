@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_model_test.dir/pipeline_model_test.cpp.o"
+  "CMakeFiles/pipeline_model_test.dir/pipeline_model_test.cpp.o.d"
+  "pipeline_model_test"
+  "pipeline_model_test.pdb"
+  "pipeline_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
