@@ -13,10 +13,16 @@
 
 using namespace fgbs;
 
+bool Dendrogram::isValidShape(std::size_t NumLeaves,
+                              const std::vector<MergeStep> &Merges) {
+  if (NumLeaves == 0)
+    return Merges.empty();
+  return Merges.size() == NumLeaves - 1;
+}
+
 Dendrogram::Dendrogram(std::size_t NumLeaves, std::vector<MergeStep> Steps)
     : Leaves(NumLeaves), Merges(std::move(Steps)) {
-  assert((Leaves == 0 && Merges.empty()) ||
-         Merges.size() == Leaves - 1 && "a dendrogram has N-1 merges");
+  assert(isValidShape(Leaves, Merges) && "a dendrogram has N-1 merges");
 }
 
 Clustering Dendrogram::cut(unsigned K) const {
@@ -58,6 +64,108 @@ Clustering Dendrogram::cut(unsigned K) const {
   return Result;
 }
 
+namespace {
+
+/// Index of the (I, J) entry (I != J) in a condensed upper-triangular
+/// distance matrix over N points.
+inline std::size_t condensedIndex(std::size_t N, std::size_t I,
+                                  std::size_t J) {
+  if (I > J)
+    std::swap(I, J);
+  return I * (2 * N - I - 1) / 2 + (J - I - 1);
+}
+
+/// Lance-Williams dissimilarity between the merger of clusters I and J
+/// (sizes NI, NJ, mutual dissimilarity DIJ) and cluster K (size NK).
+inline double lanceWilliams(Linkage Method, double DIK, double DJK,
+                            double DIJ, double NI, double NJ, double NK) {
+  switch (Method) {
+  case Linkage::Ward:
+    return ((NI + NK) * DIK + (NJ + NK) * DJK - NK * DIJ) / (NI + NJ + NK);
+  case Linkage::Single:
+    return std::min(DIK, DJK);
+  case Linkage::Complete:
+    return std::max(DIK, DJK);
+  case Linkage::Average:
+    return (NI * DIK + NJ * DJK) / (NI + NJ);
+  }
+  return 0.0; // Unreachable; silences -Wreturn-type.
+}
+
+/// A raw NN-chain merge: the two cluster slots joined (a slot is the
+/// smallest leaf index in its cluster) at dissimilarity Dist.
+struct RawMerge {
+  std::size_t A;
+  std::size_t B;
+  double Dist;
+};
+
+/// Rewrites chain-order merges into the canonical dendrogram: merges
+/// sorted by height (stable, so equal heights keep the chain's
+/// topologically valid order), children ordered so the cluster holding
+/// the smallest leaf comes first — exactly the order the naive
+/// closest-pair scan emits when all dissimilarities are distinct.
+std::vector<MergeStep> canonicalize(std::size_t N, std::vector<RawMerge> Raw,
+                                    bool Squared) {
+  std::vector<std::size_t> Order(Raw.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&Raw](std::size_t X, std::size_t Y) {
+                     return Raw[X].Dist < Raw[Y].Dist;
+                   });
+
+  // Union-find over leaves; each root tracks its current dendrogram node
+  // id and smallest contained leaf.
+  std::vector<std::size_t> Parent(N);
+  std::iota(Parent.begin(), Parent.end(), 0);
+  auto Find = [&Parent](std::size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+  std::vector<int> Node(N);
+  std::iota(Node.begin(), Node.end(), 0);
+  std::vector<unsigned> Size(N, 1);
+
+  std::vector<MergeStep> Merges;
+  Merges.reserve(Raw.size());
+  for (std::size_t Index : Order) {
+    std::size_t RootA = Find(Raw[Index].A);
+    std::size_t RootB = Find(Raw[Index].B);
+    assert(RootA != RootB && "merge joins a cluster with itself");
+    // Roots are each cluster's smallest leaf, so they order the children.
+    std::size_t Lo = std::min(RootA, RootB);
+    std::size_t Hi = std::max(RootA, RootB);
+    double Height =
+        Squared ? std::sqrt(std::max(0.0, Raw[Index].Dist)) : Raw[Index].Dist;
+    Merges.push_back({Node[Lo], Node[Hi], Height, Size[Lo] + Size[Hi]});
+    Parent[Hi] = Lo;
+    Node[Lo] = static_cast<int>(N + Merges.size() - 1);
+    Size[Lo] += Size[Hi];
+  }
+  return Merges;
+}
+
+/// Pairwise dissimilarities in condensed form: squared Euclidean for Ward
+/// (the Lance-Williams recurrence is exact on squared distances),
+/// Euclidean otherwise.
+std::vector<double> condensedDistances(const FeatureTable &Points,
+                                       bool Squared) {
+  std::size_t N = Points.size();
+  std::vector<double> Dist(N * (N - 1) / 2);
+  std::size_t Next = 0;
+  for (std::size_t I = 0; I < N; ++I)
+    for (std::size_t J = I + 1; J < N; ++J) {
+      double D2 = squaredDistance(Points[I], Points[J]);
+      Dist[Next++] = Squared ? D2 : std::sqrt(D2);
+    }
+  return Dist;
+}
+
+} // namespace
+
 Dendrogram fgbs::hierarchicalCluster(const FeatureTable &Points,
                                      Linkage Method) {
   std::size_t N = Points.size();
@@ -65,8 +173,83 @@ Dendrogram fgbs::hierarchicalCluster(const FeatureTable &Points,
   if (N == 1)
     return Dendrogram(1, {});
 
-  // Pairwise distances: squared Euclidean for Ward (the Lance-Williams
-  // recurrence below is exact on squared distances), Euclidean otherwise.
+  bool Squared = Method == Linkage::Ward;
+  std::vector<double> Dist = condensedDistances(Points, Squared);
+
+  std::vector<bool> Active(N, true);
+  std::vector<double> Size(N, 1.0);
+
+  // Nearest-neighbor chain (Murtagh 1983).  Grow a chain of successive
+  // nearest neighbors until it ends in a reciprocal pair, merge that
+  // pair, and resume from the truncated chain.  All four linkages are
+  // reducible, so merges never invalidate the remaining chain and every
+  // reciprocal pair is a merge of the true dendrogram.  Each of the N-1
+  // merges does O(N) work: O(N^2) total.
+  std::vector<std::size_t> Chain;
+  Chain.reserve(N);
+  std::vector<RawMerge> Raw;
+  Raw.reserve(N - 1);
+  std::size_t Seed = 0; // Rolling start: first active slot.
+
+  while (Raw.size() + 1 < N) {
+    if (Chain.empty()) {
+      while (!Active[Seed])
+        ++Seed;
+      Chain.push_back(Seed);
+    }
+    std::size_t Top = Chain.back();
+
+    // Nearest active neighbor of Top; prefer the chain predecessor on
+    // ties (guarantees termination), then the lowest slot.
+    std::size_t Nearest = SIZE_MAX;
+    double Best = std::numeric_limits<double>::infinity();
+    if (Chain.size() >= 2) {
+      Nearest = Chain[Chain.size() - 2];
+      Best = Dist[condensedIndex(N, Top, Nearest)];
+    }
+    for (std::size_t K = 0; K < N; ++K) {
+      if (!Active[K] || K == Top)
+        continue;
+      double D = Dist[condensedIndex(N, Top, K)];
+      if (D < Best) {
+        Best = D;
+        Nearest = K;
+      }
+    }
+
+    if (Chain.size() >= 2 && Nearest == Chain[Chain.size() - 2]) {
+      // Reciprocal pair: merge Top with its predecessor.
+      Chain.pop_back();
+      Chain.pop_back();
+      std::size_t Lo = std::min(Top, Nearest);
+      std::size_t Hi = std::max(Top, Nearest);
+      double NI = Size[Lo];
+      double NJ = Size[Hi];
+      for (std::size_t K = 0; K < N; ++K) {
+        if (!Active[K] || K == Lo || K == Hi)
+          continue;
+        Dist[condensedIndex(N, Lo, K)] =
+            lanceWilliams(Method, Dist[condensedIndex(N, Lo, K)],
+                          Dist[condensedIndex(N, Hi, K)], Best, NI, NJ,
+                          Size[K]);
+      }
+      Raw.push_back({Lo, Hi, Best});
+      Size[Lo] += Size[Hi];
+      Active[Hi] = false;
+    } else {
+      Chain.push_back(Nearest);
+    }
+  }
+  return Dendrogram(N, canonicalize(N, std::move(Raw), Squared));
+}
+
+Dendrogram fgbs::hierarchicalClusterNaive(const FeatureTable &Points,
+                                          Linkage Method) {
+  std::size_t N = Points.size();
+  assert(N > 0 && "clustering an empty table");
+  if (N == 1)
+    return Dendrogram(1, {});
+
   bool Squared = Method == Linkage::Ward;
   std::vector<std::vector<double>> Dist(N, std::vector<double>(N, 0.0));
   for (std::size_t I = 0; I < N; ++I)
@@ -111,27 +294,9 @@ Dendrogram fgbs::hierarchicalCluster(const FeatureTable &Points,
     for (std::size_t K = 0; K < N; ++K) {
       if (!Active[K] || K == BestI || K == BestJ)
         continue;
-      double NK = Size[K];
-      double DIK = Dist[BestI][K];
-      double DJK = Dist[BestJ][K];
-      double DIJ = Dist[BestI][BestJ];
-      double Updated = 0.0;
-      switch (Method) {
-      case Linkage::Ward:
-        Updated = ((NI + NK) * DIK + (NJ + NK) * DJK - NK * DIJ) /
-                  (NI + NJ + NK);
-        break;
-      case Linkage::Single:
-        Updated = std::min(DIK, DJK);
-        break;
-      case Linkage::Complete:
-        Updated = std::max(DIK, DJK);
-        break;
-      case Linkage::Average:
-        Updated = (NI * DIK + NJ * DJK) / (NI + NJ);
-        break;
-      }
-      Dist[BestI][K] = Dist[K][BestI] = Updated;
+      Dist[BestI][K] = Dist[K][BestI] =
+          lanceWilliams(Method, Dist[BestI][K], Dist[BestJ][K],
+                        Dist[BestI][BestJ], NI, NJ, Size[K]);
     }
 
     double Height = Squared ? std::sqrt(std::max(0.0, Best)) : Best;
@@ -148,6 +313,7 @@ unsigned fgbs::elbowK(const FeatureTable &Points, const Dendrogram &Tree,
                       unsigned MaxK, double Threshold) {
   assert(Threshold > 0.0 && "elbow threshold must be positive");
   std::size_t N = Points.size();
+  assert(Tree.numLeaves() == N && "dendrogram does not match the points");
   MaxK = std::min<unsigned>(MaxK, static_cast<unsigned>(N));
   if (MaxK <= 1)
     return 1;
@@ -156,15 +322,57 @@ unsigned fgbs::elbowK(const FeatureTable &Points, const Dendrogram &Tree,
   if (Tss <= 0.0)
     return 1;
 
+  // Within-cluster variance of every cut in one pass: start from K=N
+  // (every point its own cluster, WSS 0) and replay the merges.  Merging
+  // clusters A and B moves the WSS up by the Huygens centroid-merge
+  // delta |A||B|/(|A|+|B|) * ||centroid(A) - centroid(B)||^2, so the
+  // whole K sweep costs O(N * Dim) instead of O(N^2 * Dim * MaxK).
+  const std::vector<MergeStep> &Merges = Tree.merges();
+  std::size_t Dim = Points.front().size();
+  std::vector<std::vector<double>> SumOf(N + Merges.size());
+  std::vector<double> CountOf(N + Merges.size(), 0.0);
+  for (std::size_t I = 0; I < N; ++I) {
+    SumOf[I] = Points[I];
+    CountOf[I] = 1.0;
+  }
+
+  // WssAt[K] = within-cluster variance of cut(K), filled for K <= MaxK.
+  std::vector<double> WssAt(MaxK + 1, 0.0);
+  double Wss = 0.0;
+  for (std::size_t Step = 0; Step < Merges.size(); ++Step) {
+    const MergeStep &M = Merges[Step];
+    std::vector<double> &Left = SumOf[static_cast<std::size_t>(M.Left)];
+    std::vector<double> &Right = SumOf[static_cast<std::size_t>(M.Right)];
+    double NL = CountOf[static_cast<std::size_t>(M.Left)];
+    double NR = CountOf[static_cast<std::size_t>(M.Right)];
+    double Gap = 0.0;
+    for (std::size_t D = 0; D < Dim; ++D) {
+      double Diff = Left[D] / NL - Right[D] / NR;
+      Gap += Diff * Diff;
+    }
+    Wss += NL * NR / (NL + NR) * Gap;
+
+    std::size_t Node = N + Step;
+    SumOf[Node] = std::move(Left);
+    for (std::size_t D = 0; D < Dim; ++D)
+      SumOf[Node][D] += Right[D];
+    Right.clear();
+    Right.shrink_to_fit();
+    CountOf[Node] = NL + NR;
+
+    std::size_t K = N - Step - 1; // Clusters remaining after this merge.
+    if (K <= MaxK)
+      WssAt[K] = Wss;
+  }
+
+  // Same scan as the original per-K recomputation: cut where the
+  // marginal improvement drops below Threshold x total variance.
   double Previous = Tss;
   for (unsigned K = 2; K <= MaxK; ++K) {
-    double Wss = withinClusterVariance(Points, Tree.cut(K));
-    double Gain = Previous - Wss;
-    // Cut where the within-cluster variance stops improving
-    // significantly.
+    double Gain = Previous - WssAt[K];
     if (Gain < Threshold * Tss)
       return K - 1;
-    Previous = Wss;
+    Previous = WssAt[K];
   }
   return MaxK;
 }

@@ -13,6 +13,15 @@
 /// automatically by cutting when the within-cluster variance stops
 /// improving significantly.
 ///
+/// The production clusterer uses the nearest-neighbor-chain algorithm
+/// (Murtagh 1983) over a flat condensed distance matrix: O(N^2) time and
+/// N(N-1)/2 doubles of memory.  All four linkage criteria are reducible,
+/// so the chain algorithm produces the same dendrogram as the classical
+/// O(N^3) closest-pair scan; merges are canonicalized (sorted by height,
+/// children ordered by smallest contained leaf) so the output is
+/// deterministic and matches the retained naive reference merge for
+/// merge.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FGBS_CLUSTER_HIERARCHICAL_H
@@ -45,6 +54,12 @@ public:
   std::size_t numLeaves() const { return Leaves; }
   const std::vector<MergeStep> &merges() const { return Merges; }
 
+  /// Whether \p Merges is a well-formed merge history for \p NumLeaves
+  /// leaves: a nonempty dendrogram has exactly NumLeaves - 1 merges and
+  /// an empty one has none.
+  static bool isValidShape(std::size_t NumLeaves,
+                           const std::vector<MergeStep> &Merges);
+
   /// Cuts the tree into \p K clusters by undoing the last K-1 merges.
   /// Cluster ids are assigned in leaf order (cluster 0 contains leaf 0).
   /// \p K is clamped to [1, numLeaves()].
@@ -57,12 +72,24 @@ private:
 
 /// Builds the dendrogram of \p Points under \p Method, using Euclidean
 /// distances (Lance-Williams updates).  Requires at least one point.
+/// Runs the O(N^2) nearest-neighbor-chain algorithm; the merge order is
+/// canonicalized to match hierarchicalClusterNaive() (up to floating-
+/// point rounding of the heights).
 Dendrogram hierarchicalCluster(const FeatureTable &Points,
                                Linkage Method = Linkage::Ward);
 
+/// The classical O(N^3) closest-pair clusterer, retained as the reference
+/// implementation for the NN-chain equivalence tests and as the
+/// benchmark baseline (BM_WardClusterNaive).  Identical semantics to
+/// hierarchicalCluster().
+Dendrogram hierarchicalClusterNaive(const FeatureTable &Points,
+                                    Linkage Method = Linkage::Ward);
+
 /// The Elbow method: the smallest K whose marginal within-cluster
 /// variance improvement falls below \p Threshold x total variance,
-/// searching K in [1, MaxK].
+/// searching K in [1, MaxK].  Computes the within-cluster variance of
+/// every cut in a single O(N * Dim) pass over the merge history
+/// (centroid-merge deltas) instead of re-clustering per K.
 unsigned elbowK(const FeatureTable &Points, const Dendrogram &Tree,
                 unsigned MaxK, double Threshold = 0.005);
 

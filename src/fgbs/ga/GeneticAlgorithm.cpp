@@ -3,25 +3,39 @@
 #include "fgbs/ga/GeneticAlgorithm.h"
 
 #include "fgbs/support/Rng.h"
+#include "fgbs/support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 
 using namespace fgbs;
 
+std::uint64_t fgbs::hashChromosome(const Chromosome &C) {
+  std::uint64_t Hash = hashU64(C.size());
+  std::uint64_t Word = 0;
+  unsigned Bits = 0;
+  for (std::size_t I = 0; I < C.size(); ++I) {
+    Word |= static_cast<std::uint64_t>(C[I]) << Bits;
+    if (++Bits == 64) {
+      Hash = hashCombine(Hash, Word);
+      Word = 0;
+      Bits = 0;
+    }
+  }
+  if (Bits > 0)
+    Hash = hashCombine(Hash, Word);
+  return Hash;
+}
+
 namespace {
 
-/// FNV-style hash over chromosome bits, for fitness memoization.
+/// Hash adaptor over chromosome bits, for fitness memoization.
 struct ChromosomeHash {
   std::size_t operator()(const Chromosome &C) const {
-    std::uint64_t Hash = 0xCBF29CE484222325ULL;
-    for (std::size_t I = 0; I < C.size(); ++I) {
-      Hash ^= static_cast<std::uint64_t>(C[I]) + (I << 1);
-      Hash *= 0x100000001B3ULL;
-    }
-    return static_cast<std::size_t>(Hash);
+    return static_cast<std::size_t>(hashChromosome(C));
   }
 };
 
@@ -35,19 +49,13 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
   Rng Generator(Config.Seed);
   GaResult Result;
 
+  unsigned Threads =
+      Config.Threads > 0 ? Config.Threads : ThreadPool::defaultThreadCount();
+  std::unique_ptr<ThreadPool> Pool;
+  if (Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Threads);
+
   std::unordered_map<Chromosome, double, ChromosomeHash> Cache;
-  auto Evaluate = [&](const Chromosome &C) {
-    if (Config.CacheFitness) {
-      auto It = Cache.find(C);
-      if (It != Cache.end())
-        return It->second;
-    }
-    double Value = Fitness(C);
-    ++Result.Evaluations;
-    if (Config.CacheFitness)
-      Cache.emplace(C, Value);
-    return Value;
-  };
 
   // Random initial population.
   std::vector<Chromosome> Population(Config.PopulationSize);
@@ -58,6 +66,61 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
   }
 
   std::vector<double> Scores(Config.PopulationSize);
+
+  // Scores the whole generation.  Evaluations within a generation are
+  // independent, so they fan out over the pool; everything that affects
+  // determinism — which chromosomes get evaluated, the evaluation count,
+  // and the cache merge — happens on this thread, so any thread count
+  // produces identical results.
+  auto EvaluateGeneration = [&] {
+    if (!Config.CacheFitness) {
+      auto EvalOne = [&](std::size_t I) { Scores[I] = Fitness(Population[I]); };
+      if (Pool)
+        Pool->parallelFor(0, Population.size(), EvalOne);
+      else
+        for (std::size_t I = 0; I < Population.size(); ++I)
+          EvalOne(I);
+      Result.Evaluations += Population.size();
+      return;
+    }
+
+    // Serial pass: satisfy cache hits, dedupe the misses in first-
+    // occurrence order (matching the historical serial call order).
+    std::vector<const Chromosome *> Pending;
+    std::vector<std::size_t> SlotOf(Population.size(), SIZE_MAX);
+    std::unordered_map<Chromosome, std::size_t, ChromosomeHash> PendingSlots;
+    for (std::size_t I = 0; I < Population.size(); ++I) {
+      auto Hit = Cache.find(Population[I]);
+      if (Hit != Cache.end()) {
+        Scores[I] = Hit->second;
+        continue;
+      }
+      auto [Slot, IsNew] = PendingSlots.try_emplace(Population[I],
+                                                    Pending.size());
+      if (IsNew)
+        Pending.push_back(&Population[I]);
+      SlotOf[I] = Slot->second;
+    }
+
+    std::vector<double> PendingScore(Pending.size());
+    auto EvalPending = [&](std::size_t P) {
+      PendingScore[P] = Fitness(*Pending[P]);
+    };
+    if (Pool)
+      Pool->parallelFor(0, Pending.size(), EvalPending);
+    else
+      for (std::size_t P = 0; P < Pending.size(); ++P)
+        EvalPending(P);
+    Result.Evaluations += Pending.size();
+
+    // Merge into the memo cache after the parallel region.
+    for (std::size_t P = 0; P < Pending.size(); ++P)
+      Cache.emplace(*Pending[P], PendingScore[P]);
+    for (std::size_t I = 0; I < Population.size(); ++I)
+      if (SlotOf[I] != SIZE_MAX)
+        Scores[I] = PendingScore[SlotOf[I]];
+  };
+
   std::size_t Elite = std::max<std::size_t>(
       1, static_cast<std::size_t>(Config.EliteFraction *
                                   static_cast<double>(Config.PopulationSize)));
@@ -66,8 +129,7 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
   bool HaveBest = false;
 
   for (unsigned Gen = 0; Gen < Config.Generations; ++Gen) {
-    for (std::size_t I = 0; I < Population.size(); ++I)
-      Scores[I] = Evaluate(Population[I]);
+    EvaluateGeneration();
 
     // Rank by ascending fitness (minimization).
     std::vector<std::size_t> Order(Population.size());

@@ -27,8 +27,16 @@ namespace fgbs {
 /// A binary chromosome.
 using Chromosome = std::vector<bool>;
 
-/// Fitness evaluator; lower is better.  Must be deterministic.
+/// Fitness evaluator; lower is better.  Must be deterministic, and
+/// thread-safe when the GA runs with more than one evaluation thread
+/// (evaluations within a generation are issued concurrently).
 using FitnessFn = std::function<double(const Chromosome &)>;
+
+/// Well-mixed 64-bit hash of a chromosome (bits packed into 64-bit words,
+/// each word mixed through SplitMix64).  Adjacent-bit swaps, which the
+/// old additive mixing collided on, land in different buckets.  Exposed
+/// for the fitness memo cache and its collision tests.
+std::uint64_t hashChromosome(const Chromosome &C);
 
 /// GA configuration.  Defaults follow the paper: population 1000, 100
 /// generations, mutation probability 0.01.
@@ -45,6 +53,13 @@ struct GaConfig {
   /// Fitness values are memoized per chromosome (the fitness must be a
   /// pure function); disable only to measure raw evaluation counts.
   bool CacheFitness = true;
+  /// Threads evaluating fitness within a generation.  0 = auto (the
+  /// FGBS_THREADS environment variable, else hardware_concurrency());
+  /// 1 = strictly serial, reproducing the historical single-threaded
+  /// evaluation order exactly.  Any thread count yields identical
+  /// results (Best, BestHistory, Evaluations) because selection,
+  /// breeding, and the memo-cache merge stay on the caller thread.
+  unsigned Threads = 0;
 };
 
 /// GA outcome.

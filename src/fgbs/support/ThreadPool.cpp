@@ -1,0 +1,116 @@
+//===- fgbs/support/ThreadPool.cpp - Worker-thread pool -------------------===//
+
+#include "fgbs/support/ThreadPool.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace fgbs;
+
+unsigned ThreadPool::defaultThreadCount() {
+  if (const char *Env = std::getenv("FGBS_THREADS")) {
+    char *End = nullptr;
+    long Parsed = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && Parsed > 0)
+      return static_cast<unsigned>(Parsed);
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware > 0 ? Hardware : 1;
+}
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  if (ThreadCount < 2)
+    return;
+  Workers.reserve(ThreadCount - 1);
+  for (unsigned I = 0; I + 1 < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::recordError(std::exception_ptr Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!FirstError)
+    FirstError = Error;
+}
+
+void ThreadPool::consume(const std::function<void(std::size_t)> &Fn) {
+  for (;;) {
+    std::size_t Index = NextIndex.fetch_add(1, std::memory_order_relaxed);
+    if (Index >= JobEnd)
+      return;
+    try {
+      Fn(Index);
+    } catch (...) {
+      recordError(std::current_exception());
+      // Drain the remaining indices so the job finishes promptly.
+      NextIndex.store(JobEnd, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::size_t SeenTicket = 0;
+  for (;;) {
+    const std::function<void(std::size_t)> *Fn = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkCv.wait(Lock, [this, SeenTicket] {
+        return Stopping || (JobFn && JobTicket != SeenTicket);
+      });
+      if (Stopping)
+        return;
+      SeenTicket = JobTicket;
+      Fn = JobFn;
+    }
+    consume(*Fn);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Working == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t Begin, std::size_t End,
+                             const std::function<void(std::size_t)> &Fn) {
+  if (Begin >= End)
+    return;
+  if (Workers.empty()) {
+    for (std::size_t Index = Begin; Index < End; ++Index)
+      Fn(Index);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    JobFn = &Fn;
+    NextIndex.store(Begin, std::memory_order_relaxed);
+    JobEnd = End;
+    ++JobTicket;
+    Working = static_cast<unsigned>(Workers.size());
+    FirstError = nullptr;
+  }
+  WorkCv.notify_all();
+
+  consume(Fn); // The caller participates.
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCv.wait(Lock, [this] { return Working == 0; });
+  JobFn = nullptr;
+  if (FirstError) {
+    std::exception_ptr Error = FirstError;
+    FirstError = nullptr;
+    Lock.unlock();
+    std::rethrow_exception(Error);
+  }
+}

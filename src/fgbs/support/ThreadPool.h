@@ -1,0 +1,85 @@
+//===- fgbs/support/ThreadPool.h - Worker-thread pool ----------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent worker-thread pool with a blocking parallel-for.
+/// Used by the GA engine to evaluate a generation's fitness in parallel;
+/// any other embarrassingly parallel hot path can reuse it.
+///
+/// Determinism contract: parallelFor() only schedules which thread runs
+/// which index — callers that write results into per-index slots get
+/// output independent of the thread count.  A pool of one thread runs
+/// everything inline on the caller, byte-for-byte identical to a plain
+/// loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SUPPORT_THREADPOOL_H
+#define FGBS_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgbs {
+
+/// Persistent pool of worker threads executing index-range jobs.
+class ThreadPool {
+public:
+  /// Creates a pool that runs jobs on \p ThreadCount threads in total
+  /// (the caller of parallelFor() participates, so ThreadCount - 1
+  /// workers are spawned).  ThreadCount <= 1 spawns nothing and runs
+  /// jobs inline.
+  explicit ThreadPool(unsigned ThreadCount);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads working on a job, including the caller.
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Fn(Index) for every Index in [Begin, End), distributing
+  /// indices dynamically over the pool, and blocks until all are done.
+  /// The first exception thrown by Fn (if any) is rethrown on the
+  /// caller after the job drains.  Not reentrant.
+  void parallelFor(std::size_t Begin, std::size_t End,
+                   const std::function<void(std::size_t)> &Fn);
+
+  /// The thread count used when a component's knob is 0 ("auto"): the
+  /// FGBS_THREADS environment variable if set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency() (at least 1).
+  static unsigned defaultThreadCount();
+
+private:
+  void workerLoop();
+  void consume(const std::function<void(std::size_t)> &Fn);
+  void recordError(std::exception_ptr Error);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  const std::function<void(std::size_t)> *JobFn = nullptr;
+  std::atomic<std::size_t> NextIndex{0};
+  std::size_t JobEnd = 0;
+  std::size_t JobTicket = 0; ///< Bumped per job so workers never rerun one.
+  unsigned Working = 0;      ///< Workers not yet checked in for this job.
+  bool Stopping = false;
+  std::exception_ptr FirstError;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_SUPPORT_THREADPOOL_H

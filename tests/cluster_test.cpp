@@ -123,6 +123,90 @@ INSTANTIATE_TEST_SUITE_P(Linkages, AllLinkages,
                                            Linkage::Complete,
                                            Linkage::Average));
 
+TEST(Dendrogram, ShapeValidation) {
+  // Regression for the constructor assert's operator-precedence bug:
+  // `A || B && C` bound as `A || (B && C)`, so an empty-leaves dendrogram
+  // with nonempty merges slipped through the empty-leaves arm.
+  std::vector<MergeStep> NoMerges;
+  std::vector<MergeStep> OneMerge = {{0, 1, 1.0, 2}};
+  std::vector<MergeStep> TwoMerges = {{0, 1, 1.0, 2}, {3, 2, 2.0, 3}};
+  EXPECT_TRUE(Dendrogram::isValidShape(0, NoMerges));
+  EXPECT_FALSE(Dendrogram::isValidShape(0, OneMerge));
+  EXPECT_TRUE(Dendrogram::isValidShape(1, NoMerges));
+  EXPECT_FALSE(Dendrogram::isValidShape(1, OneMerge));
+  EXPECT_TRUE(Dendrogram::isValidShape(2, OneMerge));
+  EXPECT_TRUE(Dendrogram::isValidShape(3, TwoMerges));
+  EXPECT_FALSE(Dendrogram::isValidShape(3, OneMerge));
+}
+
+/// Random Gaussian points with distinct pairwise distances (almost
+/// surely), for NN-chain vs naive equivalence checks.
+FeatureTable randomPoints(std::size_t N, std::size_t Dim,
+                          std::uint64_t Seed) {
+  Rng R(Seed);
+  FeatureTable Points(N, std::vector<double>(Dim));
+  for (auto &P : Points)
+    for (double &V : P)
+      V = R.normal();
+  return Points;
+}
+
+class ChainVsNaive : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(ChainVsNaive, DendrogramsMatchMergeForMerge) {
+  for (std::uint64_t Seed : {1u, 2u, 3u, 4u, 5u}) {
+    for (std::size_t N : {2u, 3u, 7u, 17u, 33u, 64u}) {
+      FeatureTable Points = randomPoints(N, 6, Seed * 1000 + N);
+      Dendrogram Chain = hierarchicalCluster(Points, GetParam());
+      Dendrogram Naive = hierarchicalClusterNaive(Points, GetParam());
+      ASSERT_EQ(Chain.numLeaves(), Naive.numLeaves());
+      ASSERT_EQ(Chain.merges().size(), Naive.merges().size());
+      for (std::size_t I = 0; I < Chain.merges().size(); ++I) {
+        const MergeStep &A = Chain.merges()[I];
+        const MergeStep &B = Naive.merges()[I];
+        EXPECT_EQ(A.Left, B.Left) << "merge " << I << " seed " << Seed;
+        EXPECT_EQ(A.Right, B.Right) << "merge " << I << " seed " << Seed;
+        EXPECT_EQ(A.Size, B.Size) << "merge " << I << " seed " << Seed;
+        // Heights agree up to floating-point rounding: the two
+        // algorithms apply the Lance-Williams updates in different
+        // orders.
+        EXPECT_NEAR(A.Height, B.Height,
+                    1e-9 * std::max(1.0, std::abs(B.Height)))
+            << "merge " << I << " seed " << Seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, ChainVsNaive,
+                         ::testing::Values(Linkage::Ward, Linkage::Single,
+                                           Linkage::Complete,
+                                           Linkage::Average));
+
+TEST(Hierarchical, ElbowMatchesPerCutRecomputation) {
+  // The incremental one-pass elbow must agree with recomputing the
+  // within-cluster variance from scratch at every cut.
+  for (std::uint64_t Seed : {11u, 22u, 33u}) {
+    FeatureTable Points = randomPoints(40, 5, Seed);
+    Dendrogram Tree = hierarchicalCluster(Points);
+    for (double Threshold : {0.001, 0.01, 0.05, 0.2}) {
+      double Tss = totalVariance(Points);
+      unsigned Expected = 24;
+      double Previous = Tss;
+      for (unsigned K = 2; K <= 24; ++K) {
+        double Wss = withinClusterVariance(Points, Tree.cut(K));
+        if (Previous - Wss < Threshold * Tss) {
+          Expected = K - 1;
+          break;
+        }
+        Previous = Wss;
+      }
+      EXPECT_EQ(elbowK(Points, Tree, 24, Threshold), Expected)
+          << "seed " << Seed << " threshold " << Threshold;
+    }
+  }
+}
+
 TEST(Hierarchical, CutBoundsRespected) {
   FeatureTable Points = threeBlobs();
   Dendrogram Tree = hierarchicalCluster(Points);

@@ -60,8 +60,9 @@ TEST_P(VectorizationStrides, LegalityFollowsStrideClass) {
       C, C.Body[0], M, CompilationContext::InApplication);
   EXPECT_EQ(D.Vectorized, Case.ExpectVector)
       << strideClassName(Case.Stride) << ": " << D.Reason;
-  if (D.Vectorized)
+  if (D.Vectorized) {
     EXPECT_EQ(D.VectorFactor, 2u); // 128-bit DP.
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

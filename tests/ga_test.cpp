@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace fgbs;
 
 namespace {
@@ -96,6 +98,70 @@ TEST(Ga, MinimizesNotMaximizes) {
     return Ones;
   });
   EXPECT_LE(R.BestFitness, 1.0);
+}
+
+TEST(Ga, ThreadCountDoesNotChangeResults) {
+  // The generation-parallel fitness fan-out must be invisible in the
+  // output: Threads=4 equals the strictly serial Threads=1 run exactly.
+  GaConfig Serial = smallConfig();
+  Serial.Threads = 1;
+  GaConfig Parallel = smallConfig();
+  Parallel.Threads = 4;
+  GaResult A = runGa(Serial, oneMax);
+  GaResult B = runGa(Parallel, oneMax);
+  EXPECT_EQ(A.Best, B.Best);
+  EXPECT_DOUBLE_EQ(A.BestFitness, B.BestFitness);
+  EXPECT_EQ(A.BestHistory, B.BestHistory);
+  EXPECT_EQ(A.Evaluations, B.Evaluations);
+  EXPECT_EQ(A.ConvergedAtGeneration, B.ConvergedAtGeneration);
+}
+
+TEST(Ga, ThreadCountDoesNotChangeResultsUncached) {
+  GaConfig Serial = smallConfig();
+  Serial.Threads = 1;
+  Serial.CacheFitness = false;
+  GaConfig Parallel = Serial;
+  Parallel.Threads = 4;
+  GaResult A = runGa(Serial, oneMax);
+  GaResult B = runGa(Parallel, oneMax);
+  EXPECT_EQ(A.Best, B.Best);
+  EXPECT_EQ(A.BestHistory, B.BestHistory);
+  EXPECT_EQ(A.Evaluations, B.Evaluations);
+}
+
+TEST(ChromosomeHash, AdjacentBitSwapsDiffer) {
+  // The old additive mixing (bit + (index << 1)) collided whenever two
+  // adjacent bits swapped values.  The packed-word hash must not.
+  for (std::size_t Length : {8u, 64u, 65u, 76u, 128u}) {
+    Chromosome Base(Length, false);
+    for (std::size_t I = 0; I + 1 < Length; ++I) {
+      Chromosome A = Base;
+      Chromosome B = Base;
+      A[I] = true;     // ...10...
+      B[I + 1] = true; // ...01...
+      EXPECT_NE(hashChromosome(A), hashChromosome(B))
+          << "length " << Length << " position " << I;
+    }
+  }
+}
+
+TEST(ChromosomeHash, SmokeNoCollisionsOverSmallSpace) {
+  // All 2^14 chromosomes of length 14 must hash distinctly (a 64-bit
+  // hash colliding in a 16k set means the mixing is broken).
+  std::set<std::uint64_t> Seen;
+  for (unsigned Bits = 0; Bits < (1u << 14); ++Bits) {
+    Chromosome C(14);
+    for (std::size_t I = 0; I < 14; ++I)
+      C[I] = (Bits >> I) & 1u;
+    Seen.insert(hashChromosome(C));
+  }
+  EXPECT_EQ(Seen.size(), 1u << 14);
+}
+
+TEST(ChromosomeHash, LengthIsPartOfTheHash) {
+  Chromosome Short(64, false);
+  Chromosome Long(65, false);
+  EXPECT_NE(hashChromosome(Short), hashChromosome(Long));
 }
 
 TEST(Ga, PenalizedEmptySelectionAvoided) {

@@ -220,8 +220,9 @@ TEST_P(ModelSweep, CountersRespectCachePyramid) {
   EXPECT_GE(Ctr.L1Accesses, Ctr.L2LinesIn - 1e-9);
   EXPECT_GE(Ctr.L2LinesIn, Ctr.L3LinesIn - 1e-9);
   EXPECT_GE(Ctr.L2LinesIn, Ctr.MemLinesIn - 1e-9);
-  if (M.CacheLevels.size() < 3)
+  if (M.CacheLevels.size() < 3) {
     EXPECT_DOUBLE_EQ(Ctr.L3LinesIn, 0.0);
+  }
 }
 
 TEST_P(ModelSweep, FeatureVectorWellFormed) {

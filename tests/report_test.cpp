@@ -50,8 +50,9 @@ TEST(Report, WorksOnEveryMachine) {
     printCodeletReport(OS, C, M);
     EXPECT_NE(OS.str().find(M.Name), std::string::npos);
     // Machines without an L3 must not print an L3 column header.
-    if (M.CacheLevels.size() == 2)
+    if (M.CacheLevels.size() == 2) {
       EXPECT_EQ(OS.str().find("L3 %"), std::string::npos) << M.Name;
+    }
   }
 }
 

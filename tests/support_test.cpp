@@ -4,6 +4,7 @@
 #include "fgbs/support/Rng.h"
 #include "fgbs/support/Statistics.h"
 #include "fgbs/support/TextTable.h"
+#include "fgbs/support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 using namespace fgbs;
 
@@ -250,4 +252,63 @@ TEST(TextTable, SeparatorSkippedInCsv) {
   std::ostringstream OS;
   T.printCsv(OS);
   EXPECT_EQ(OS.str(), "h\nx\ny\n");
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    std::vector<std::atomic<int>> Hits(1000);
+    for (auto &H : Hits)
+      H.store(0);
+    Pool.parallelFor(0, Hits.size(),
+                     [&Hits](std::size_t I) { Hits[I].fetch_add(1); });
+    for (std::size_t I = 0; I < Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+  }
+}
+
+TEST(ThreadPool, PerIndexSlotsAreDeterministic) {
+  auto Square = [](std::size_t I) { return static_cast<double>(I * I); };
+  std::vector<double> Serial(257);
+  ThreadPool One(1);
+  One.parallelFor(0, Serial.size(),
+                  [&](std::size_t I) { Serial[I] = Square(I); });
+  std::vector<double> Parallel(257);
+  ThreadPool Four(4);
+  Four.parallelFor(0, Parallel.size(),
+                   [&](std::size_t I) { Parallel[I] = Square(I); });
+  EXPECT_EQ(Serial, Parallel);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool Pool(4);
+  int Calls = 0;
+  Pool.parallelFor(5, 5, [&Calls](std::size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool Pool(3);
+  std::atomic<std::size_t> Total{0};
+  for (int Job = 0; Job < 20; ++Job)
+    Pool.parallelFor(0, 100, [&Total](std::size_t) { Total.fetch_add(1); });
+  EXPECT_EQ(Total.load(), 2000u);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(0, 100,
+                                [](std::size_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Still usable afterwards.
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 10, [&Count](std::size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 10);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
 }
