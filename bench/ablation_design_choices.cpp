@@ -36,6 +36,7 @@ void report(TextTable &T, const std::string &Label,
 } // namespace
 
 int main() {
+  obs::Session Telemetry("ablation_design_choices");
   bench::banner("Ablation", "Design-choice ablations on the NAS suite");
 
   std::unique_ptr<bench::Study> Study = bench::makeNasStudy();

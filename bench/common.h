@@ -14,6 +14,7 @@
 #define FGBS_BENCH_COMMON_H
 
 #include "fgbs/core/Pipeline.h"
+#include "fgbs/obs/RunReport.h"
 #include "fgbs/suites/Suites.h"
 #include "fgbs/support/Statistics.h"
 #include "fgbs/support/TextTable.h"
@@ -44,6 +45,11 @@ inline std::unique_ptr<Study> makeNrStudy() {
 inline std::unique_ptr<Study> makeNasStudy() {
   return std::make_unique<Study>(makeNasSer());
 }
+
+/// Every bench main() opens an obs::Session named after its binary as
+/// its first statement, then records headline results into it with
+/// recordValue(); FGBS_RUN_JSON / FGBS_TRACE_JSON / FGBS_TELEMETRY
+/// export the run in the common fgbs.run.v1 schema (see obs/RunReport.h).
 
 /// Prints the standard banner for one experiment.
 inline void banner(const std::string &Id, const std::string &Title) {

@@ -13,6 +13,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("fig2_cluster_prediction");
   bench::banner("Figure 2",
                 "Predicted vs real execution times on Atom, NR clusters of "
                 "toeplz_1 and realft_4");

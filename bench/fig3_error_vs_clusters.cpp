@@ -9,9 +9,12 @@
 
 #include "bench/common.h"
 
+#include <cctype>
+
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("fig3_error_vs_clusters");
   bench::banner("Figure 3",
                 "Median error and reduction factor vs number of clusters "
                 "(NAS)");
@@ -23,6 +26,17 @@ int main() {
   PipelineResult Auto = Pipeline(Db, PipelineConfig()).run();
   unsigned Elbow = Auto.ElbowK;
   std::cout << "Elbow-selected K = " << Elbow << " (paper: 18)\n\n";
+  Telemetry.recordValue("elbow_k", Elbow);
+  for (const TargetEvaluation &E : Auto.Targets) {
+    std::string Key = E.MachineName;
+    for (char &C : Key)
+      C = C == ' ' ? '_' : static_cast<char>(std::tolower(
+                               static_cast<unsigned char>(C)));
+    Telemetry.recordValue("elbow_median_err_pct." + Key,
+                          E.MedianErrorPercent);
+    Telemetry.recordValue("elbow_reduction_factor." + Key,
+                          E.Reduction.totalFactor());
+  }
 
   TextTable T;
   std::vector<std::string> Header = {"K"};

@@ -11,6 +11,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("fig4_codelet_prediction");
   bench::banner("Figure 4",
                 "Predicted vs real codelet times on Sandy Bridge, by NAS "
                 "application");

@@ -16,6 +16,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("fig5_app_prediction");
   bench::banner("Figure 5",
                 "Application-level predicted vs real times on each target");
 

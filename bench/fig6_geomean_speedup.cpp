@@ -11,6 +11,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("fig6_geomean_speedup");
   bench::banner("Figure 6", "Geometric-mean speedup per architecture (NAS)");
 
   std::unique_ptr<bench::Study> Study = bench::makeNasStudy();

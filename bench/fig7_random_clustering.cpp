@@ -14,6 +14,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("fig7_random_clustering");
   bench::banner("Figure 7",
                 "Feature-guided clustering vs 1000 random clusterings (NAS)");
 

@@ -34,6 +34,7 @@ double medianErrorExcludingMg(const MeasurementDatabase &Db,
 } // namespace
 
 int main() {
+  obs::Session Telemetry("fig8_cross_app_subsetting");
   bench::banner("Figure 8",
                 "Across-application vs per-application subsetting (NAS)");
 

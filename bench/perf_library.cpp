@@ -13,6 +13,7 @@
 #include "fgbs/dsl/Builder.h"
 #include "fgbs/dsl/Text.h"
 #include "fgbs/ga/GeneticAlgorithm.h"
+#include "fgbs/obs/RunReport.h"
 #include "fgbs/suites/Suites.h"
 #include "fgbs/suites/Synthetic.h"
 #include "fgbs/support/Rng.h"
@@ -234,6 +235,35 @@ void BM_RandomClustering(benchmark::State &State) {
 }
 BENCHMARK(BM_RandomClustering);
 
+/// Console output as usual, plus every per-iteration result recorded
+/// into the telemetry session so the run exports as fgbs.run.v1 (the
+/// schema bench/BENCH_clustering.json and the CI perf gate consume).
+class SessionReporter : public benchmark::ConsoleReporter {
+public:
+  explicit SessionReporter(obs::Session &Out) : Out(Out) {}
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports)
+      if (R.run_type == Run::RT_Iteration && !R.error_occurred)
+        Out.recordBenchmark(R.benchmark_name(), R.GetAdjustedRealTime());
+    ConsoleReporter::ReportRuns(Reports);
+  }
+
+private:
+  obs::Session &Out;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Honours FGBS_RUN_JSON / FGBS_TRACE_JSON / FGBS_TELEMETRY; with none
+  // of them set this is exactly BENCHMARK_MAIN().
+  obs::Session Run("perf_library");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  SessionReporter Reporter(Run);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return 0;
+}

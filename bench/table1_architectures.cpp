@@ -24,6 +24,7 @@ static std::string cacheString(const Machine &M, std::size_t Level) {
 }
 
 int main() {
+  obs::Session Telemetry("table1_architectures");
   bench::banner("Table 1", "Test architectures");
 
   std::vector<Machine> Machines = paperMachines();

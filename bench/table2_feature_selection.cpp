@@ -19,6 +19,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("table2_feature_selection");
   bench::banner("Table 2", "GA feature selection on Numerical Recipes");
 
   std::unique_ptr<bench::Study> Study = bench::makeNrStudy();
@@ -59,6 +60,11 @@ int main() {
 
   FeatureMask Best(R.Best.begin(), R.Best.end());
   auto [BestErr, BestK, BestAtom, BestSb] = EvaluateMask(Best);
+  Telemetry.recordValue("converged_at_generation", R.ConvergedAtGeneration);
+  Telemetry.recordValue("fitness_evaluations",
+                        static_cast<double>(R.Evaluations));
+  Telemetry.recordValue("best_fitness", R.BestFitness);
+  Telemetry.recordValue("best_k", BestK);
 
   std::cout << "GA converged at generation " << R.ConvergedAtGeneration
             << " (paper: 47) after " << R.Evaluations

@@ -18,6 +18,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("table3_nr_clustering");
   bench::banner("Table 3", "NR clustering with 14 clusters and Atom speedups");
 
   std::unique_ptr<bench::Study> Study = bench::makeNrStudy();

@@ -11,6 +11,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("table4_nr_prediction");
   bench::banner("Table 4", "Prediction errors on Numerical Recipes");
 
   std::unique_ptr<bench::Study> Study = bench::makeNrStudy();
@@ -26,6 +27,7 @@ int main() {
 
   std::cout << "Elbow method selected K = " << RElbow.ElbowK << " (paper: 24)"
             << "\n\n";
+  Telemetry.recordValue("elbow_k", RElbow.ElbowK);
 
   TextTable T;
   T.setHeader({"error", "K=14 median", "K=14 average",
@@ -45,6 +47,11 @@ int main() {
               formatPercent(E14->AverageErrorPercent),
               formatPercent(EEl->MedianErrorPercent),
               formatPercent(EEl->AverageErrorPercent)});
+    std::string Key = Target == "Atom" ? "atom" : "sandy_bridge";
+    Telemetry.recordValue("k14_median_err_pct." + Key,
+                          E14->MedianErrorPercent);
+    Telemetry.recordValue("elbow_median_err_pct." + Key,
+                          EEl->MedianErrorPercent);
   }
   T.print(std::cout);
 

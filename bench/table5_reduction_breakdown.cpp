@@ -14,6 +14,7 @@
 using namespace fgbs;
 
 int main() {
+  obs::Session Telemetry("table5_reduction_breakdown");
   bench::banner("Table 5", "Benchmarking reduction factor breakdown (NAS)");
 
   std::unique_ptr<bench::Study> Study = bench::makeNasStudy();

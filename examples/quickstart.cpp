@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fgbs/core/Pipeline.h"
+#include "fgbs/obs/RunReport.h"
 #include "fgbs/suites/Suites.h"
 #include "fgbs/support/TextTable.h"
 
@@ -19,6 +20,11 @@
 using namespace fgbs;
 
 int main() {
+  // Telemetry for the whole run: FGBS_TELEMETRY=1 prints a registry
+  // summary at exit, FGBS_RUN_JSON=path writes the fgbs.run.v1 report,
+  // FGBS_TRACE_JSON=path writes a Chrome trace of the pipeline phases.
+  obs::Session Telemetry("quickstart");
+
   // The suite to reduce and the machines of paper Table 1.
   Suite NR = makeNumericalRecipes();
   MeasurementDatabase Db(NR, makeNehalem(), paperTargets());
@@ -49,5 +55,10 @@ int main() {
   std::cout << "\nRepresentatives:\n";
   for (std::size_t Local : R.Selection.Representatives)
     std::cout << "  " << Db.codelet(R.Kept[Local]).Name << "\n";
+
+  Telemetry.recordValue("elbow_k", R.ElbowK);
+  Telemetry.recordValue("representatives",
+                        static_cast<double>(
+                            R.Selection.Representatives.size()));
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "fgbs/cluster/Hierarchical.h"
 
+#include "fgbs/obs/Trace.h"
 #include "fgbs/support/Matrix.h"
 #include "fgbs/support/Rng.h"
 
@@ -173,11 +174,20 @@ Dendrogram fgbs::hierarchicalCluster(const FeatureTable &Points,
   if (N == 1)
     return Dendrogram(1, {});
 
+  FGBS_TRACE_SPAN("cluster.nn_chain");
   bool Squared = Method == Linkage::Ward;
   std::vector<double> Dist = condensedDistances(Points, Squared);
 
   std::vector<bool> Active(N, true);
   std::vector<double> Size(N, 1.0);
+
+  // Telemetry tallies, maintained per outer iteration so the scan and
+  // Lance-Williams inner loops stay untouched.  ActiveCount tracks the
+  // live clusters; each chain step scans ActiveCount - 1 distances,
+  // each merge rewrites ActiveCount - 2 of them.
+  std::size_t ActiveCount = N;
+  std::size_t ChainSteps = 0;
+  std::size_t DistanceEvals = 0;
 
   // Nearest-neighbor chain (Murtagh 1983).  Grow a chain of successive
   // nearest neighbors until it ends in a reciprocal pair, merge that
@@ -198,6 +208,8 @@ Dendrogram fgbs::hierarchicalCluster(const FeatureTable &Points,
       Chain.push_back(Seed);
     }
     std::size_t Top = Chain.back();
+    ++ChainSteps;
+    DistanceEvals += ActiveCount - 1;
 
     // Nearest active neighbor of Top; prefer the chain predecessor on
     // ties (guarantees termination), then the lowest slot.
@@ -236,10 +248,15 @@ Dendrogram fgbs::hierarchicalCluster(const FeatureTable &Points,
       Raw.push_back({Lo, Hi, Best});
       Size[Lo] += Size[Hi];
       Active[Hi] = false;
+      DistanceEvals += ActiveCount - 2;
+      --ActiveCount;
     } else {
       Chain.push_back(Nearest);
     }
   }
+  FGBS_COUNTER_ADD("cluster.merges", N - 1);
+  FGBS_COUNTER_ADD("cluster.chain_steps", ChainSteps);
+  FGBS_COUNTER_ADD("cluster.distance_evals", DistanceEvals);
   return Dendrogram(N, canonicalize(N, std::move(Raw), Squared));
 }
 
@@ -311,6 +328,7 @@ Dendrogram fgbs::hierarchicalClusterNaive(const FeatureTable &Points,
 
 unsigned fgbs::elbowK(const FeatureTable &Points, const Dendrogram &Tree,
                       unsigned MaxK, double Threshold) {
+  FGBS_TRACE_SPAN("cluster.elbow");
   assert(Threshold > 0.0 && "elbow threshold must be positive");
   std::size_t N = Points.size();
   assert(Tree.numLeaves() == N && "dendrogram does not match the points");

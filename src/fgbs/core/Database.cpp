@@ -2,6 +2,8 @@
 
 #include "fgbs/core/Database.h"
 
+#include "fgbs/obs/Trace.h"
+
 #include <cassert>
 #include <utility>
 
@@ -11,15 +13,26 @@ MeasurementDatabase::MeasurementDatabase(const Suite &S, Machine Ref,
                                          std::vector<Machine> Tgts,
                                          const TimingPolicy &Policy)
     : TheSuite(&S), Reference(std::move(Ref)), Targets(std::move(Tgts)) {
-  Profiles = profileSuite(S, Reference);
+  // Steps A-B: capture + profile on the reference machine, then the
+  // ground-truth and standalone measurements on every target.
+  FGBS_TRACE_SPAN("pipeline.measure");
+  {
+    FGBS_TRACE_SPAN("pipeline.measure.profile_reference");
+    Profiles = profileSuite(S, Reference);
+  }
 
   std::vector<const Codelet *> Codelets = S.allCodelets();
   assert(Codelets.size() == Profiles.size() && "profile count mismatch");
+  FGBS_COUNTER_ADD("db.codelets_profiled", Codelets.size());
 
-  StandaloneOnRef.reserve(Codelets.size());
-  for (const Codelet *C : Codelets)
-    StandaloneOnRef.push_back(measureStandalone(*C, Reference, Policy));
+  {
+    FGBS_TRACE_SPAN("pipeline.measure.standalone_reference");
+    StandaloneOnRef.reserve(Codelets.size());
+    for (const Codelet *C : Codelets)
+      StandaloneOnRef.push_back(measureStandalone(*C, Reference, Policy));
+  }
 
+  FGBS_TRACE_SPAN("pipeline.measure.targets");
   RealTarget.resize(Targets.size());
   StandaloneOnTarget.resize(Targets.size());
   for (std::size_t T = 0; T < Targets.size(); ++T) {

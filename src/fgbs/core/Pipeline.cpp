@@ -2,6 +2,7 @@
 
 #include "fgbs/core/Pipeline.h"
 
+#include "fgbs/obs/Trace.h"
 #include "fgbs/support/Statistics.h"
 
 #include <algorithm>
@@ -20,6 +21,7 @@ Pipeline::Pipeline(const MeasurementDatabase &Db, PipelineConfig Config)
 }
 
 FeatureTable Pipeline::buildPoints() const {
+  FGBS_TRACE_SPAN("pipeline.cluster.features");
   std::vector<std::size_t> Kept = Db.keptCodelets();
   FeatureTable Full;
   Full.reserve(Kept.size());
@@ -29,10 +31,16 @@ FeatureTable Pipeline::buildPoints() const {
 }
 
 PipelineResult Pipeline::run() const {
+  FGBS_TRACE_SPAN("pipeline.run");
+  FGBS_COUNTER_ADD("pipeline.runs", 1);
   std::vector<std::size_t> Kept = Db.keptCodelets();
   FeatureTable Points = buildPoints();
 
-  Dendrogram Tree = hierarchicalCluster(Points, Config.LinkageMethod);
+  // Step C: hierarchical clustering and the elbow cut.
+  Dendrogram Tree = [&] {
+    FGBS_TRACE_SPAN("pipeline.cluster");
+    return hierarchicalCluster(Points, Config.LinkageMethod);
+  }();
   unsigned Elbow =
       elbowK(Points, Tree, Config.MaxK, Config.ElbowThreshold);
   unsigned K = Config.K > 0 ? Config.K : Elbow;
@@ -61,21 +69,24 @@ PipelineResult Pipeline::evaluate(std::vector<std::size_t> Kept,
   R.Initial = Initial;
 
   // --- Step D: representative selection --------------------------------
-  auto WellBehaved = [this, &R](std::size_t Local) {
-    return Db.isWellBehavedOnRef(R.Kept[Local]);
-  };
-  if (Config.ReSelectIllBehaved) {
-    R.Selection = selectRepresentatives(R.Points, Initial, WellBehaved,
-                                        Config.MedoidRepresentative);
-  } else {
-    // Plain medoid (or first-member) choice with no agreement test.
-    R.Selection.Assignment = Initial.Assignment;
-    R.Selection.FinalK = Initial.K;
-    for (const std::vector<std::size_t> &Members : Initial.members()) {
-      assert(!Members.empty() && "empty cluster in initial clustering");
-      std::size_t Pick =
-          Config.MedoidRepresentative ? medoidOf(R.Points, Members) : 0;
-      R.Selection.Representatives.push_back(Members[Pick]);
+  {
+    FGBS_TRACE_SPAN("pipeline.select");
+    auto WellBehaved = [this, &R](std::size_t Local) {
+      return Db.isWellBehavedOnRef(R.Kept[Local]);
+    };
+    if (Config.ReSelectIllBehaved) {
+      R.Selection = selectRepresentatives(R.Points, Initial, WellBehaved,
+                                          Config.MedoidRepresentative);
+    } else {
+      // Plain medoid (or first-member) choice with no agreement test.
+      R.Selection.Assignment = Initial.Assignment;
+      R.Selection.FinalK = Initial.K;
+      for (const std::vector<std::size_t> &Members : Initial.members()) {
+        assert(!Members.empty() && "empty cluster in initial clustering");
+        std::size_t Pick =
+            Config.MedoidRepresentative ? medoidOf(R.Points, Members) : 0;
+        R.Selection.Representatives.push_back(Members[Pick]);
+      }
     }
   }
 
@@ -85,6 +96,7 @@ PipelineResult Pipeline::evaluate(std::vector<std::size_t> Kept,
     return R;
 
   // --- Step E: prediction model -----------------------------------------
+  FGBS_TRACE_SPAN("pipeline.predict");
   std::vector<double> RefTimes(R.Kept.size());
   for (std::size_t I = 0; I < R.Kept.size(); ++I)
     RefTimes[I] = Db.profile(R.Kept[I]).InApp.MeasuredSeconds;

@@ -2,6 +2,7 @@
 
 #include "fgbs/extract/Extraction.h"
 
+#include "fgbs/obs/Trace.h"
 #include "fgbs/support/Matrix.h"
 #include "fgbs/support/Rng.h"
 #include "fgbs/support/Statistics.h"
@@ -70,6 +71,8 @@ bool fgbs::isWellBehaved(const StandaloneMeasurement &Standalone,
 SelectionResult fgbs::selectRepresentatives(
     const FeatureTable &Points, const Clustering &Initial,
     const std::function<bool(std::size_t)> &WellBehaved, bool PreferMedoid) {
+  FGBS_TRACE_SPAN("extract.select");
+  FGBS_COUNTER_ADD("extract.selections", 1);
   SelectionResult Result;
   Result.Assignment = Initial.Assignment;
 
@@ -115,6 +118,9 @@ SelectionResult fgbs::selectRepresentatives(
     for (std::size_t P = 0; P < Points.size(); ++P)
       if (IllBehavedFlag[P])
         Result.IllBehaved.push_back(P);
+    FGBS_COUNTER_ADD("extract.dissolved_clusters", Members.size());
+    FGBS_COUNTER_ADD("extract.ill_behaved_replacements",
+                     Result.IllBehaved.size());
     return Result;
   }
 
@@ -123,6 +129,8 @@ SelectionResult fgbs::selectRepresentatives(
   for (std::size_t Cl = 0; Cl < Members.size(); ++Cl) {
     if (ClusterRep[Cl] >= 0 || Members[Cl].empty())
       continue;
+    FGBS_COUNTER_ADD("extract.dissolved_clusters", 1);
+    FGBS_COUNTER_ADD("extract.orphans_moved", Members[Cl].size());
     for (std::size_t Orphan : Members[Cl]) {
       double BestDist = std::numeric_limits<double>::infinity();
       long BestCluster = -1;
@@ -156,5 +164,9 @@ SelectionResult fgbs::selectRepresentatives(
   for (std::size_t P = 0; P < Points.size(); ++P)
     if (IllBehavedFlag[P])
       Result.IllBehaved.push_back(P);
+  // Each ill-behaved candidate forced the walk to the next-nearest
+  // medoid (or dissolved its cluster): the paper's replacement events.
+  FGBS_COUNTER_ADD("extract.ill_behaved_replacements",
+                   Result.IllBehaved.size());
   return Result;
 }

@@ -2,6 +2,7 @@
 
 #include "fgbs/ga/GeneticAlgorithm.h"
 
+#include "fgbs/obs/Trace.h"
 #include "fgbs/support/Rng.h"
 #include "fgbs/support/ThreadPool.h"
 
@@ -42,6 +43,7 @@ struct ChromosomeHash {
 } // namespace
 
 GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
+  FGBS_TRACE_SPAN("ga.run");
   assert(Config.ChromosomeLength > 0 && "empty chromosomes");
   assert(Config.PopulationSize >= 2 && "population too small");
   assert(Config.TournamentSize >= 1 && "tournament too small");
@@ -73,6 +75,7 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
   // and the cache merge — happens on this thread, so any thread count
   // produces identical results.
   auto EvaluateGeneration = [&] {
+    FGBS_SCOPED_TIMER("ga.generation_eval");
     if (!Config.CacheFitness) {
       auto EvalOne = [&](std::size_t I) { Scores[I] = Fitness(Population[I]); };
       if (Pool)
@@ -81,6 +84,7 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
         for (std::size_t I = 0; I < Population.size(); ++I)
           EvalOne(I);
       Result.Evaluations += Population.size();
+      FGBS_COUNTER_ADD("ga.fitness_evals", Population.size());
       return;
     }
 
@@ -89,10 +93,12 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
     std::vector<const Chromosome *> Pending;
     std::vector<std::size_t> SlotOf(Population.size(), SIZE_MAX);
     std::unordered_map<Chromosome, std::size_t, ChromosomeHash> PendingSlots;
+    std::size_t CacheHits = 0;
     for (std::size_t I = 0; I < Population.size(); ++I) {
       auto Hit = Cache.find(Population[I]);
       if (Hit != Cache.end()) {
         Scores[I] = Hit->second;
+        ++CacheHits;
         continue;
       }
       auto [Slot, IsNew] = PendingSlots.try_emplace(Population[I],
@@ -101,6 +107,13 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
         Pending.push_back(&Population[I]);
       SlotOf[I] = Slot->second;
     }
+    // Memo hit rate = cache_hits / (cache_hits + cache_misses); the
+    // deduped re-occurrences within one generation count as hits too.
+    FGBS_COUNTER_ADD("ga.cache_hits",
+                     CacheHits + (Population.size() - CacheHits -
+                                  Pending.size()));
+    FGBS_COUNTER_ADD("ga.cache_misses", Pending.size());
+    FGBS_COUNTER_ADD("ga.fitness_evals", Pending.size());
 
     std::vector<double> PendingScore(Pending.size());
     auto EvalPending = [&](std::size_t P) {
@@ -129,6 +142,7 @@ GaResult fgbs::runGa(const GaConfig &Config, const FitnessFn &Fitness) {
   bool HaveBest = false;
 
   for (unsigned Gen = 0; Gen < Config.Generations; ++Gen) {
+    FGBS_COUNTER_ADD("ga.generations", 1);
     EvaluateGeneration();
 
     // Rank by ascending fitness (minimization).

@@ -2,6 +2,7 @@
 
 #include "fgbs/model/Prediction.h"
 
+#include "fgbs/obs/Metrics.h"
 #include "fgbs/support/Statistics.h"
 
 #include <cassert>
@@ -14,6 +15,7 @@ PredictionModel::build(const std::vector<double> &RefTimes,
                        const std::vector<int> &Assignment,
                        const std::vector<std::size_t> &Representatives) {
   assert(RefTimes.size() == Assignment.size() && "size mismatch");
+  FGBS_COUNTER_ADD("model.builds", 1);
   PredictionModel Model;
   std::size_t N = RefTimes.size();
   std::size_t K = Representatives.size();
@@ -39,6 +41,8 @@ PredictionModel::build(const std::vector<double> &RefTimes,
 std::vector<double>
 PredictionModel::predict(const std::vector<double> &RepTargetTimes) const {
   assert(RepTargetTimes.size() == numClusters() && "one time per cluster");
+  FGBS_COUNTER_ADD("model.predictions", 1);
+  FGBS_COUNTER_ADD("model.predicted_codelets", M.rows());
   return M.multiply(RepTargetTimes);
 }
 

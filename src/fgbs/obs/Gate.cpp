@@ -1,0 +1,98 @@
+//===- fgbs/obs/Gate.cpp - Perf-baseline regression gate ------------------===//
+
+#include "fgbs/obs/Gate.h"
+
+#include "fgbs/obs/RunReport.h"
+
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+
+using namespace fgbs;
+using namespace fgbs::obs;
+
+GateReport obs::compareBenchmarks(const JsonValue &Baseline,
+                                  const JsonValue &Results, double WarnRatio,
+                                  double FailRatio) {
+  assert(WarnRatio > 0.0 && FailRatio >= WarnRatio &&
+         "fail threshold must not undercut warn");
+  std::map<std::string, double> Base = benchmarksFromJson(Baseline);
+  std::map<std::string, double> New = benchmarksFromJson(Results);
+
+  GateReport Report;
+  for (const auto &[Name, BaseNs] : Base) {
+    GateEntry Entry;
+    Entry.Name = Name;
+    Entry.BaselineNs = BaseNs;
+    auto It = New.find(Name);
+    if (It == New.end()) {
+      Entry.Status = GateStatus::MissingResult;
+      ++Report.Warnings;
+    } else {
+      Entry.ResultNs = It->second;
+      Entry.Ratio = BaseNs > 0.0 ? It->second / BaseNs : 0.0;
+      ++Report.Compared;
+      if (Entry.Ratio > FailRatio) {
+        Entry.Status = GateStatus::Fail;
+        ++Report.Failures;
+      } else if (Entry.Ratio > WarnRatio) {
+        Entry.Status = GateStatus::Warn;
+        ++Report.Warnings;
+      }
+    }
+    Report.Entries.push_back(std::move(Entry));
+  }
+  for (const auto &[Name, Ns] : New) {
+    if (Base.count(Name))
+      continue;
+    GateEntry Entry;
+    Entry.Name = Name;
+    Entry.ResultNs = Ns;
+    Entry.Status = GateStatus::NewBenchmark;
+    Report.Entries.push_back(std::move(Entry));
+  }
+  return Report;
+}
+
+namespace {
+
+const char *statusLabel(GateStatus Status) {
+  switch (Status) {
+  case GateStatus::Ok:
+    return "ok";
+  case GateStatus::Warn:
+    return "WARN";
+  case GateStatus::Fail:
+    return "FAIL";
+  case GateStatus::MissingResult:
+    return "missing";
+  case GateStatus::NewBenchmark:
+    return "new";
+  }
+  return "?"; // Unreachable; silences -Wreturn-type.
+}
+
+} // namespace
+
+void obs::printGateReport(std::ostream &OS, const GateReport &Report) {
+  std::size_t NameWidth = 9;
+  for (const GateEntry &E : Report.Entries)
+    NameWidth = std::max(NameWidth, E.Name.size());
+
+  OS << std::left << std::setw(static_cast<int>(NameWidth)) << "benchmark"
+     << std::right << std::setw(14) << "baseline ns" << std::setw(14)
+     << "result ns" << std::setw(9) << "ratio" << "  status\n";
+  for (const GateEntry &E : Report.Entries) {
+    OS << std::left << std::setw(static_cast<int>(NameWidth)) << E.Name
+       << std::right << std::fixed << std::setprecision(0) << std::setw(14)
+       << E.BaselineNs << std::setw(14) << E.ResultNs;
+    if (E.Ratio > 0.0)
+      OS << std::setprecision(2) << std::setw(9) << E.Ratio;
+    else
+      OS << std::setw(9) << "-";
+    OS << "  " << statusLabel(E.Status) << "\n";
+  }
+  OS << "\nperf gate: " << (Report.passed() ? "PASS" : "FAIL") << " ("
+     << Report.Compared << " compared, " << Report.Warnings << " warnings, "
+     << Report.Failures << " failures)\n";
+}

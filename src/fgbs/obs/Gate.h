@@ -1,0 +1,68 @@
+//===- fgbs/obs/Gate.h - Perf-baseline regression gate ---------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison behind the CI perf gate: new benchmark timings (any
+/// JSON with a "benchmarks" member — an fgbs.run.v1 report or the flat
+/// checked-in baseline) against the recorded baseline, with a generous
+/// two-level tolerance so noisy shared runners warn long before they
+/// fail.  tools/perf_gate is the thin CLI over this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_OBS_GATE_H
+#define FGBS_OBS_GATE_H
+
+#include "fgbs/obs/Json.h"
+
+#include <iosfwd>
+
+namespace fgbs {
+namespace obs {
+
+/// Outcome of one benchmark's baseline comparison.
+enum class GateStatus {
+  Ok,            ///< Ratio below the warn threshold.
+  Warn,          ///< Slower than warn x baseline (noise territory).
+  Fail,          ///< Slower than fail x baseline (a real regression).
+  MissingResult, ///< In the baseline but not in the results (warn-level).
+  NewBenchmark,  ///< In the results but not in the baseline (info only).
+};
+
+struct GateEntry {
+  std::string Name;
+  double BaselineNs = 0.0;
+  double ResultNs = 0.0;
+  double Ratio = 0.0; ///< ResultNs / BaselineNs; 0 when either is absent.
+  GateStatus Status = GateStatus::Ok;
+};
+
+struct GateReport {
+  std::vector<GateEntry> Entries; ///< Baseline order, new benches last.
+  unsigned Compared = 0;
+  unsigned Warnings = 0; ///< Warn + MissingResult entries.
+  unsigned Failures = 0;
+
+  /// The gate passes while nothing crossed the fail threshold and at
+  /// least one benchmark was actually compared.
+  bool passed() const { return Failures == 0 && Compared > 0; }
+};
+
+/// Compares the "benchmarks" members of \p Baseline and \p Results.
+/// \p WarnRatio and \p FailRatio are result/baseline thresholds
+/// (1.5 / 3.0 in CI).
+GateReport compareBenchmarks(const JsonValue &Baseline,
+                             const JsonValue &Results, double WarnRatio,
+                             double FailRatio);
+
+/// Prints \p Report as a table plus a PASS/FAIL verdict line.
+void printGateReport(std::ostream &OS, const GateReport &Report);
+
+} // namespace obs
+} // namespace fgbs
+
+#endif // FGBS_OBS_GATE_H

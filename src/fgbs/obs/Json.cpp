@@ -1,0 +1,360 @@
+//===- fgbs/obs/Json.cpp - Minimal JSON value, parser, writer -------------===//
+
+#include "fgbs/obs/Json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+using namespace fgbs;
+using namespace fgbs::obs;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (TheKind != Kind::Object)
+    return nullptr;
+  auto It = ObjectValue.find(Key);
+  return It == ObjectValue.end() ? nullptr : &It->second;
+}
+
+JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
+  ObjectValue[Key] = std::move(V);
+  return *this;
+}
+
+void JsonValue::push(JsonValue V) { ArrayValue.push_back(std::move(V)); }
+
+namespace {
+
+/// Recursive-descent parser over a character range.
+class Parser {
+public:
+  Parser(const char *Begin, const char *End) : Cursor(Begin), End(End) {}
+
+  std::optional<JsonValue> document() {
+    std::optional<JsonValue> V = value();
+    if (!V)
+      return std::nullopt;
+    skipSpace();
+    if (Cursor != End)
+      return std::nullopt; // Trailing garbage.
+    return V;
+  }
+
+private:
+  void skipSpace() {
+    while (Cursor != End &&
+           std::isspace(static_cast<unsigned char>(*Cursor)))
+      ++Cursor;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Cursor == End || *Cursor != C)
+      return false;
+    ++Cursor;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    for (; *Word; ++Word, ++Cursor)
+      if (Cursor == End || *Cursor != *Word)
+        return false;
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    skipSpace();
+    if (Cursor == End)
+      return std::nullopt;
+    switch (*Cursor) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true") ? std::optional<JsonValue>(JsonValue(true))
+                             : std::nullopt;
+    case 'f':
+      return literal("false") ? std::optional<JsonValue>(JsonValue(false))
+                              : std::nullopt;
+    case 'n':
+      return literal("null") ? std::optional<JsonValue>(JsonValue())
+                             : std::nullopt;
+    default:
+      return number();
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    ++Cursor; // '{'
+    JsonValue Out = JsonValue::object();
+    skipSpace();
+    if (consume('}'))
+      return Out;
+    for (;;) {
+      skipSpace();
+      if (Cursor == End || *Cursor != '"')
+        return std::nullopt;
+      std::optional<JsonValue> Key = string();
+      if (!Key || !consume(':'))
+        return std::nullopt;
+      std::optional<JsonValue> Member = value();
+      if (!Member)
+        return std::nullopt;
+      Out.set(Key->string(), std::move(*Member));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Out;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    ++Cursor; // '['
+    JsonValue Out = JsonValue::array();
+    skipSpace();
+    if (consume(']'))
+      return Out;
+    for (;;) {
+      std::optional<JsonValue> Element = value();
+      if (!Element)
+        return std::nullopt;
+      Out.push(std::move(*Element));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Out;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> string() {
+    ++Cursor; // '"'
+    std::string Out;
+    while (Cursor != End && *Cursor != '"') {
+      char C = *Cursor++;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Cursor == End)
+        return std::nullopt;
+      char Escape = *Cursor++;
+      switch (Escape) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(Escape);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        // \uXXXX: decoded only for the ASCII range the telemetry schema
+        // emits; anything else is preserved as a '?' placeholder.
+        if (End - Cursor < 4)
+          return std::nullopt;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = *Cursor++;
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return std::nullopt;
+        }
+        Out.push_back(Code < 0x80 ? static_cast<char>(Code) : '?');
+        break;
+      }
+      default:
+        return std::nullopt;
+      }
+    }
+    if (Cursor == End)
+      return std::nullopt; // Unterminated.
+    ++Cursor;              // Closing '"'.
+    return JsonValue(std::move(Out));
+  }
+
+  std::optional<JsonValue> number() {
+    const char *Start = Cursor;
+    if (Cursor != End && (*Cursor == '-' || *Cursor == '+'))
+      ++Cursor;
+    bool SawDigit = false;
+    while (Cursor != End &&
+           (std::isdigit(static_cast<unsigned char>(*Cursor)) ||
+            *Cursor == '.' || *Cursor == 'e' || *Cursor == 'E' ||
+            *Cursor == '-' || *Cursor == '+')) {
+      SawDigit |= std::isdigit(static_cast<unsigned char>(*Cursor));
+      ++Cursor;
+    }
+    if (!SawDigit)
+      return std::nullopt;
+    double Parsed = 0.0;
+    auto [Ptr, Ec] = std::from_chars(Start, Cursor, Parsed);
+    if (Ec != std::errc() || Ptr != Cursor)
+      return std::nullopt;
+    return JsonValue(Parsed);
+  }
+
+  const char *Cursor;
+  const char *End;
+};
+
+/// Shortest representation that round-trips; integers print as integers
+/// (the schema's counters and nanosecond sums stay grep-able).
+void writeNumber(std::string &Out, double N) {
+  if (std::isfinite(N) && N == std::floor(N) && std::fabs(N) < 1e15) {
+    char Buffer[32];
+    std::snprintf(Buffer, sizeof(Buffer), "%.0f", N);
+    Out += Buffer;
+    return;
+  }
+  if (!std::isfinite(N)) { // JSON has no inf/nan.
+    Out += "null";
+    return;
+  }
+  char Buffer[40];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", N);
+  // Trim to the shortest form that still parses back equal.
+  for (int Precision = 1; Precision < 17; ++Precision) {
+    char Short[40];
+    std::snprintf(Short, sizeof(Short), "%.*g", Precision, N);
+    double Back = 0.0;
+    std::from_chars(Short, Short + std::char_traits<char>::length(Short),
+                    Back);
+    if (Back == N) {
+      Out += Short;
+      return;
+    }
+  }
+  Out += Buffer;
+}
+
+void writeValue(std::string &Out, const JsonValue &V, unsigned Indent,
+                unsigned Level) {
+  auto Newline = [&](unsigned AtLevel) {
+    if (Indent == 0)
+      return;
+    Out.push_back('\n');
+    Out.append(static_cast<std::size_t>(Indent) * AtLevel, ' ');
+  };
+
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    return;
+  case JsonValue::Kind::Bool:
+    Out += V.boolean() ? "true" : "false";
+    return;
+  case JsonValue::Kind::Number:
+    writeNumber(Out, V.number());
+    return;
+  case JsonValue::Kind::String:
+    Out.push_back('"');
+    Out += escapeJsonString(V.string());
+    Out.push_back('"');
+    return;
+  case JsonValue::Kind::Array: {
+    Out.push_back('[');
+    bool First = true;
+    for (const JsonValue &E : V.elements()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      Newline(Level + 1);
+      writeValue(Out, E, Indent, Level + 1);
+    }
+    if (!First)
+      Newline(Level);
+    Out.push_back(']');
+    return;
+  }
+  case JsonValue::Kind::Object: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &[Key, Member] : V.members()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      Newline(Level + 1);
+      Out.push_back('"');
+      Out += escapeJsonString(Key);
+      Out += Indent ? "\": " : "\":";
+      writeValue(Out, Member, Indent, Level + 1);
+    }
+    if (!First)
+      Newline(Level);
+    Out.push_back('}');
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::optional<JsonValue> obs::parseJson(const std::string &Text) {
+  Parser P(Text.data(), Text.data() + Text.size());
+  return P.document();
+}
+
+std::string obs::writeJson(const JsonValue &V, unsigned Indent) {
+  std::string Out;
+  writeValue(Out, V, Indent, 0);
+  return Out;
+}
+
+std::string obs::escapeJsonString(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buffer;
+      } else {
+        Out.push_back(C);
+      }
+      break;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,99 @@
+//===- fgbs/obs/Json.h - Minimal JSON value, parser, writer ----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON layer for the telemetry subsystem: run
+/// reports and bench baselines are written and re-read through it, and
+/// the CI perf gate parses both sides of its comparison with it.  No
+/// external dependency; numbers are doubles (every value the schema
+/// carries fits); object keys are sorted (std::map), which the writers
+/// rely on for stable, diffable output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_OBS_JSON_H
+#define FGBS_OBS_JSON_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fgbs {
+namespace obs {
+
+/// A JSON document node.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : TheKind(Kind::Null) {}
+  JsonValue(bool B) : TheKind(Kind::Bool), BoolValue(B) {}
+  JsonValue(double N) : TheKind(Kind::Number), NumberValue(N) {}
+  JsonValue(std::string S) : TheKind(Kind::String), StringValue(std::move(S)) {}
+  JsonValue(const char *S) : TheKind(Kind::String), StringValue(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.TheKind = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.TheKind = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isNumber() const { return TheKind == Kind::Number; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool boolean() const { return BoolValue; }
+  double number() const { return NumberValue; }
+  const std::string &string() const { return StringValue; }
+
+  std::vector<JsonValue> &elements() { return ArrayValue; }
+  const std::vector<JsonValue> &elements() const { return ArrayValue; }
+
+  std::map<std::string, JsonValue> &members() { return ObjectValue; }
+  const std::map<std::string, JsonValue> &members() const {
+    return ObjectValue;
+  }
+
+  /// Object member lookup; null for non-objects and missing keys.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Sets an object member (the value must be an object).
+  JsonValue &set(const std::string &Key, JsonValue V);
+
+  /// Appends an array element (the value must be an array).
+  void push(JsonValue V);
+
+private:
+  Kind TheKind;
+  bool BoolValue = false;
+  double NumberValue = 0.0;
+  std::string StringValue;
+  std::vector<JsonValue> ArrayValue;
+  std::map<std::string, JsonValue> ObjectValue;
+};
+
+/// Parses one JSON document (with optional trailing whitespace).
+/// Returns std::nullopt on malformed input.
+std::optional<JsonValue> parseJson(const std::string &Text);
+
+/// Serializes \p V; \p Indent > 0 pretty-prints with that indent width.
+std::string writeJson(const JsonValue &V, unsigned Indent = 0);
+
+/// Escapes \p S for embedding in a JSON string literal (no quotes).
+std::string escapeJsonString(const std::string &S);
+
+} // namespace obs
+} // namespace fgbs
+
+#endif // FGBS_OBS_JSON_H

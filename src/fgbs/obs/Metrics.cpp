@@ -1,0 +1,133 @@
+//===- fgbs/obs/Metrics.cpp - Process-wide metrics registry ---------------===//
+
+#include "fgbs/obs/Metrics.h"
+
+using namespace fgbs;
+using namespace fgbs::obs;
+
+std::atomic<bool> detail::Enabled{false};
+
+void obs::setEnabled(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+unsigned detail::threadSlot() {
+  static std::atomic<unsigned> Next{0};
+  thread_local unsigned Slot = Next.fetch_add(1, std::memory_order_relaxed);
+  return Slot;
+}
+
+std::uint64_t Counter::total() const {
+  std::uint64_t Sum = 0;
+  for (const CounterShard &S : Shards)
+    Sum += S.Value.load(std::memory_order_relaxed);
+  return Sum;
+}
+
+void Counter::reset() {
+  for (CounterShard &S : Shards)
+    S.Value.store(0, std::memory_order_relaxed);
+}
+
+unsigned Histogram::bucketFor(std::uint64_t Ns) {
+  for (unsigned I = 0; I + 1 < NumHistogramBuckets; ++I)
+    if (Ns <= bucketUpperBoundNs(I))
+      return I;
+  return NumHistogramBuckets - 1;
+}
+
+void Histogram::record(std::uint64_t Ns) {
+  HistogramShard &S = Shards[detail::threadSlot() & (NumShards - 1)];
+  S.Count.fetch_add(1, std::memory_order_relaxed);
+  S.Sum.fetch_add(Ns, std::memory_order_relaxed);
+  S.Buckets[bucketFor(Ns)].fetch_add(1, std::memory_order_relaxed);
+
+  // Min/max via CAS; contention is bounded by the sharding.
+  std::uint64_t Seen = S.Min.load(std::memory_order_relaxed);
+  while (Ns < Seen &&
+         !S.Min.compare_exchange_weak(Seen, Ns, std::memory_order_relaxed))
+    ;
+  Seen = S.Max.load(std::memory_order_relaxed);
+  while (Ns > Seen &&
+         !S.Max.compare_exchange_weak(Seen, Ns, std::memory_order_relaxed))
+    ;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot Out;
+  std::uint64_t Min = ~0ull;
+  for (const HistogramShard &S : Shards) {
+    Out.Count += S.Count.load(std::memory_order_relaxed);
+    Out.SumNs += S.Sum.load(std::memory_order_relaxed);
+    Min = std::min(Min, S.Min.load(std::memory_order_relaxed));
+    Out.MaxNs = std::max(Out.MaxNs, S.Max.load(std::memory_order_relaxed));
+    for (unsigned B = 0; B < NumHistogramBuckets; ++B)
+      Out.Buckets[B] += S.Buckets[B].load(std::memory_order_relaxed);
+  }
+  Out.MinNs = Out.Count ? Min : 0;
+  return Out;
+}
+
+void Histogram::reset() {
+  for (HistogramShard &S : Shards) {
+    S.Count.store(0, std::memory_order_relaxed);
+    S.Sum.store(0, std::memory_order_relaxed);
+    S.Min.store(~0ull, std::memory_order_relaxed);
+    S.Max.store(0, std::memory_order_relaxed);
+    for (std::atomic<std::uint64_t> &B : S.Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Leaked on purpose: handles cached by instrumented code must outlive
+  // every static destructor that might still record.
+  static MetricsRegistry *Registry = new MetricsRegistry();
+  return *Registry;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MetricsSnapshot Out;
+  for (const auto &[Name, C] : Counters)
+    Out.Counters[Name] = C->total();
+  for (const auto &[Name, G] : Gauges)
+    Out.Gauges[Name] = G->get();
+  for (const auto &[Name, H] : Histograms)
+    Out.Histograms[Name] = H->snapshot();
+  return Out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &[Name, C] : Counters)
+    C->reset();
+  for (const auto &[Name, G] : Gauges)
+    G->reset();
+  for (const auto &[Name, H] : Histograms)
+    H->reset();
+}

@@ -1,0 +1,219 @@
+//===- fgbs/obs/Metrics.h - Process-wide metrics registry ------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry metrics layer: a process-wide registry of named
+/// counters, gauges, and fixed-bucket latency histograms.
+///
+/// Design constraints (see DESIGN.md section 8):
+///  - Disabled is the default and costs one relaxed atomic load plus a
+///    branch per instrumented site; nothing else is touched, so tier-1
+///    timings are unchanged.
+///  - Enabled recording is lock-free: every metric is sharded into
+///    cache-line-padded per-thread-slot cells updated with relaxed
+///    atomics; shards are only merged when a snapshot is taken.
+///  - Handles are stable for the process lifetime (the registry never
+///    deletes a metric), so hot modules resolve a metric once and keep
+///    the pointer.
+///
+/// Layering: obs sits below support — anything in the library may
+/// include it, and it includes nothing from fgbs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_OBS_METRICS_H
+#define FGBS_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fgbs {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> Enabled;
+
+/// Small dense id for the calling thread (assigned on first use, never
+/// reused); metrics fold it onto their shard array.
+unsigned threadSlot();
+} // namespace detail
+
+/// True when telemetry recording is on.  The inline fast path of every
+/// instrumented site.
+inline bool enabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns telemetry recording on or off (off is the process default).
+void setEnabled(bool On);
+
+/// Shards per metric; power of two, thread slots fold onto it.
+constexpr unsigned NumShards = 16;
+
+/// One cache line per shard so concurrent writers do not false-share.
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> Value{0};
+};
+
+/// A monotonically increasing sum.
+class Counter {
+public:
+  void add(std::uint64_t N) {
+    Shards[detail::threadSlot() & (NumShards - 1)].Value.fetch_add(
+        N, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  /// Merges the shards.  Approximate under concurrent writers (each
+  /// shard is read atomically, the sum is not a consistent cut).
+  std::uint64_t total() const;
+  void reset();
+
+private:
+  std::array<CounterShard, NumShards> Shards;
+};
+
+/// A last-value-wins double (thread count, configured K, queue depth).
+class Gauge {
+public:
+  void set(double V) { Value.store(V, std::memory_order_relaxed); }
+  double get() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+private:
+  std::atomic<double> Value{0.0};
+};
+
+/// Histogram bucket count: fixed power-of-two boundaries from 1us up,
+/// plus a catch-all overflow bucket.  bucketUpperBoundNs(i) gives the
+/// inclusive upper bound of bucket i; the last bucket has none.
+constexpr unsigned NumHistogramBuckets = 20;
+
+/// Inclusive upper bound (in nanoseconds) of bucket \p Index, i.e.
+/// 1000 * 2^Index for the first NumHistogramBuckets - 1 buckets (1us,
+/// 2us, ... ~4.4min); UINT64_MAX for the overflow bucket.
+constexpr std::uint64_t bucketUpperBoundNs(unsigned Index) {
+  return Index + 1 < NumHistogramBuckets
+             ? 1000ull << Index
+             : ~0ull;
+}
+
+struct alignas(64) HistogramShard {
+  std::atomic<std::uint64_t> Count{0};
+  std::atomic<std::uint64_t> Sum{0};
+  std::atomic<std::uint64_t> Min{~0ull};
+  std::atomic<std::uint64_t> Max{0};
+  std::array<std::atomic<std::uint64_t>, NumHistogramBuckets> Buckets{};
+};
+
+/// Merged view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t Count = 0;
+  std::uint64_t SumNs = 0;
+  std::uint64_t MinNs = 0; ///< 0 when Count == 0.
+  std::uint64_t MaxNs = 0;
+  std::array<std::uint64_t, NumHistogramBuckets> Buckets{};
+
+  double meanNs() const {
+    return Count ? static_cast<double>(SumNs) / static_cast<double>(Count)
+                 : 0.0;
+  }
+};
+
+/// A fixed-bucket latency histogram over nanosecond samples.
+class Histogram {
+public:
+  void record(std::uint64_t Ns);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  /// Index of the bucket a sample falls into (exposed for tests).
+  static unsigned bucketFor(std::uint64_t Ns);
+
+private:
+  std::array<HistogramShard, NumShards> Shards;
+};
+
+/// Merged view of the whole registry at one point in time.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, HistogramSnapshot> Histograms;
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Histograms.empty();
+  }
+};
+
+/// The process-wide metric registry.  Registration and snapshots take a
+/// mutex; recording through the returned handles never does.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &global();
+
+  /// Finds or creates the named metric.  The returned reference stays
+  /// valid for the process lifetime.
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Merges every metric's shards into one consistent-enough view.
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (registrations survive; handles
+  /// stay valid).  For run-scoped reporting and tests.
+  void reset();
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+// Convenience macros: one registry lookup on first enabled pass, then a
+// cached handle; a branch-plus-nothing when telemetry is disabled.
+#define FGBS_OBS_CONCAT_IMPL(A, B) A##B
+#define FGBS_OBS_CONCAT(A, B) FGBS_OBS_CONCAT_IMPL(A, B)
+
+#define FGBS_COUNTER_ADD(NameLiteral, Amount)                                  \
+  do {                                                                         \
+    if (fgbs::obs::enabled()) {                                                \
+      static fgbs::obs::Counter &FgbsObsCtr =                                  \
+          fgbs::obs::MetricsRegistry::global().counter(NameLiteral);           \
+      FgbsObsCtr.add(static_cast<std::uint64_t>(Amount));                      \
+    }                                                                          \
+  } while (0)
+
+#define FGBS_GAUGE_SET(NameLiteral, Value)                                     \
+  do {                                                                         \
+    if (fgbs::obs::enabled()) {                                                \
+      static fgbs::obs::Gauge &FgbsObsGauge =                                  \
+          fgbs::obs::MetricsRegistry::global().gauge(NameLiteral);             \
+      FgbsObsGauge.set(static_cast<double>(Value));                            \
+    }                                                                          \
+  } while (0)
+
+#define FGBS_HISTOGRAM_RECORD_NS(NameLiteral, Ns)                              \
+  do {                                                                         \
+    if (fgbs::obs::enabled()) {                                                \
+      static fgbs::obs::Histogram &FgbsObsHist =                               \
+          fgbs::obs::MetricsRegistry::global().histogram(NameLiteral);         \
+      FgbsObsHist.record(static_cast<std::uint64_t>(Ns));                      \
+    }                                                                          \
+  } while (0)
+
+} // namespace obs
+} // namespace fgbs
+
+#endif // FGBS_OBS_METRICS_H

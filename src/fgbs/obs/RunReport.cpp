@@ -1,0 +1,196 @@
+//===- fgbs/obs/RunReport.cpp - fgbs.run.v1 JSON run reports --------------===//
+
+#include "fgbs/obs/RunReport.h"
+
+#include "fgbs/obs/Trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+using namespace fgbs;
+using namespace fgbs::obs;
+
+namespace {
+
+/// Mirrors ThreadPool::defaultThreadCount (obs sits below support, so
+/// it cannot include it): FGBS_THREADS if positive, else hardware
+/// concurrency, at least 1.
+unsigned defaultThreads() {
+  if (const char *Env = std::getenv("FGBS_THREADS")) {
+    char *End = nullptr;
+    long Parsed = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && Parsed > 0)
+      return static_cast<unsigned>(Parsed);
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware > 0 ? Hardware : 1;
+}
+
+JsonValue histogramToJson(const HistogramSnapshot &H) {
+  JsonValue Out = JsonValue::object();
+  Out.set("count", JsonValue(static_cast<double>(H.Count)));
+  Out.set("sum_ns", JsonValue(static_cast<double>(H.SumNs)));
+  Out.set("min_ns", JsonValue(static_cast<double>(H.MinNs)));
+  Out.set("max_ns", JsonValue(static_cast<double>(H.MaxNs)));
+  JsonValue Buckets = JsonValue::array();
+  for (unsigned B = 0; B < NumHistogramBuckets; ++B) {
+    JsonValue Bucket = JsonValue::object();
+    Bucket.set("le_ns", B + 1 < NumHistogramBuckets
+                            ? JsonValue(static_cast<double>(
+                                  bucketUpperBoundNs(B)))
+                            : JsonValue());
+    Bucket.set("count", JsonValue(static_cast<double>(H.Buckets[B])));
+    Buckets.push(std::move(Bucket));
+  }
+  Out.set("buckets", std::move(Buckets));
+  return Out;
+}
+
+} // namespace
+
+JsonValue obs::metricsToJson(const MetricsSnapshot &Snapshot) {
+  JsonValue Out = JsonValue::object();
+  JsonValue Counters = JsonValue::object();
+  for (const auto &[Name, Value] : Snapshot.Counters)
+    Counters.set(Name, JsonValue(static_cast<double>(Value)));
+  Out.set("counters", std::move(Counters));
+
+  JsonValue Gauges = JsonValue::object();
+  for (const auto &[Name, Value] : Snapshot.Gauges)
+    Gauges.set(Name, JsonValue(Value));
+  Out.set("gauges", std::move(Gauges));
+
+  JsonValue Histograms = JsonValue::object();
+  for (const auto &[Name, H] : Snapshot.Histograms)
+    Histograms.set(Name, histogramToJson(H));
+  Out.set("histograms", std::move(Histograms));
+  return Out;
+}
+
+JsonValue obs::buildRunReport(const RunInfo &Info,
+                              const MetricsSnapshot &Snapshot,
+                              const std::map<std::string, double> &Values,
+                              const std::map<std::string, double> &Benchmarks) {
+  JsonValue Out = JsonValue::object();
+  Out.set("schema", JsonValue("fgbs.run.v1"));
+
+  JsonValue Run = JsonValue::object();
+  Run.set("name", JsonValue(Info.Name));
+#ifdef NDEBUG
+  Run.set("asserts", JsonValue(false));
+#else
+  Run.set("asserts", JsonValue(true));
+#endif
+  Run.set("threads", JsonValue(static_cast<double>(Info.Threads)));
+  Out.set("run", std::move(Run));
+
+  JsonValue ValuesJson = JsonValue::object();
+  for (const auto &[Name, Value] : Values)
+    ValuesJson.set(Name, JsonValue(Value));
+  Out.set("values", std::move(ValuesJson));
+
+  JsonValue BenchJson = JsonValue::object();
+  for (const auto &[Name, Ns] : Benchmarks)
+    BenchJson.set(Name, JsonValue(Ns));
+  Out.set("benchmarks", std::move(BenchJson));
+
+  Out.set("metrics", metricsToJson(Snapshot));
+  return Out;
+}
+
+std::map<std::string, double>
+obs::benchmarksFromJson(const JsonValue &Document) {
+  std::map<std::string, double> Out;
+  const JsonValue *Benchmarks = Document.find("benchmarks");
+  if (!Benchmarks || !Benchmarks->isObject())
+    return Out;
+  for (const auto &[Name, Value] : Benchmarks->members()) {
+    if (Value.isNumber()) {
+      Out[Name] = Value.number();
+      continue;
+    }
+    if (const JsonValue *TimeNs = Value.find("time_ns"))
+      if (TimeNs->isNumber())
+        Out[Name] = TimeNs->number();
+  }
+  return Out;
+}
+
+void obs::printSummary(std::ostream &OS, const MetricsSnapshot &Snapshot) {
+  OS << "-- telemetry summary ------------------------------------------\n";
+  if (Snapshot.empty()) {
+    OS << "  (no metrics recorded)\n";
+    return;
+  }
+  for (const auto &[Name, Value] : Snapshot.Counters)
+    OS << "  counter " << Name << " = " << Value << "\n";
+  for (const auto &[Name, Value] : Snapshot.Gauges)
+    OS << "  gauge   " << Name << " = " << Value << "\n";
+  for (const auto &[Name, H] : Snapshot.Histograms) {
+    OS << "  timer   " << Name << ": count " << H.Count;
+    if (H.Count > 0)
+      OS << ", mean " << H.meanNs() / 1e6 << " ms, min " << H.MinNs / 1e6
+         << " ms, max " << H.MaxNs / 1e6 << " ms";
+    OS << "\n";
+  }
+}
+
+Session::Session(std::string RunName) {
+  Info.Name = std::move(RunName);
+  Info.Threads = defaultThreads();
+
+  if (const char *Env = std::getenv("FGBS_RUN_JSON"))
+    RunJsonPath = Env;
+  if (const char *Env = std::getenv("FGBS_TRACE_JSON"))
+    TraceJsonPath = Env;
+  if (const char *Env = std::getenv("FGBS_TELEMETRY"))
+    PrintSummary = Env[0] != '\0' && Env[0] != '0';
+
+  Active = PrintSummary || !RunJsonPath.empty() || !TraceJsonPath.empty();
+  if (!Active)
+    return;
+  MetricsRegistry::global().reset();
+  setEnabled(true);
+  if (!TraceJsonPath.empty()) {
+    TraceLog::global().clear();
+    setTracingEnabled(true);
+  }
+}
+
+Session::~Session() {
+  if (!Active)
+    return;
+  MetricsSnapshot Snapshot = MetricsRegistry::global().snapshot();
+  if (!RunJsonPath.empty()) {
+    std::ofstream OS(RunJsonPath);
+    if (OS)
+      OS << writeJson(buildRunReport(Info, Snapshot, Values, Benchmarks),
+                      /*Indent=*/2)
+         << "\n";
+    else
+      std::cerr << "fgbs: cannot write FGBS_RUN_JSON to '" << RunJsonPath
+                << "'\n";
+  }
+  if (!TraceJsonPath.empty()) {
+    setTracingEnabled(false);
+    std::ofstream OS(TraceJsonPath);
+    if (OS)
+      writeChromeTrace(OS, TraceLog::global().events());
+    else
+      std::cerr << "fgbs: cannot write FGBS_TRACE_JSON to '" << TraceJsonPath
+                << "'\n";
+  }
+  if (PrintSummary)
+    printSummary(std::cerr, Snapshot);
+  setEnabled(false);
+}
+
+void Session::recordValue(const std::string &Name, double Value) {
+  Values[Name] = Value;
+}
+
+void Session::recordBenchmark(const std::string &Name, double Ns) {
+  Benchmarks[Name] = Ns;
+}

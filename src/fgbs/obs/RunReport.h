@@ -1,0 +1,109 @@
+//===- fgbs/obs/RunReport.h - fgbs.run.v1 JSON run reports -----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON schema every FGBS surface speaks — benches, examples,
+/// and the CI perf gate (fgbs.run.v1):
+///
+/// \code
+/// {
+///   "schema": "fgbs.run.v1",
+///   "run": {"name": "...", "asserts": true|false, "threads": N},
+///   "values": {"elbow_k": 18, ...},          // run-level result scalars
+///   "benchmarks": {"BM_WardCluster/256": 1062017, ...},   // ns per item
+///   "metrics": {
+///     "counters": {"cluster.merges": 66, ...},
+///     "gauges": {"pool.threads": 4, ...},
+///     "histograms": {"pipeline.cluster": {"count": 1, "sum_ns": ...,
+///         "min_ns": ..., "max_ns": ...,
+///         "buckets": [{"le_ns": 1000, "count": 0}, ...,
+///                     {"le_ns": null, "count": 0}]}}}
+/// }
+/// \endcode
+///
+/// The checked-in bench baseline (bench/BENCH_clustering.json) predates
+/// the schema but shares the "benchmarks" member shape, so the gate
+/// compares the two directly.
+///
+/// Session is the per-binary entry point: construct one in main(),
+/// record result values into it, and its destructor honours the
+/// environment —
+///   FGBS_TELEMETRY=1    enable metrics, print a summary to stderr
+///   FGBS_RUN_JSON=path  enable metrics, write the fgbs.run.v1 report
+///   FGBS_TRACE_JSON=path  enable tracing, write the Chrome trace
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_OBS_RUNREPORT_H
+#define FGBS_OBS_RUNREPORT_H
+
+#include "fgbs/obs/Json.h"
+#include "fgbs/obs/Metrics.h"
+
+#include <iosfwd>
+
+namespace fgbs {
+namespace obs {
+
+/// Identity block of a run report.
+struct RunInfo {
+  std::string Name;
+  /// Worker threads the "auto" knob resolves to in this environment.
+  unsigned Threads = 1;
+};
+
+/// The registry snapshot as the schema's "metrics" member.
+JsonValue metricsToJson(const MetricsSnapshot &Snapshot);
+
+/// A full fgbs.run.v1 document.
+JsonValue buildRunReport(const RunInfo &Info, const MetricsSnapshot &Snapshot,
+                         const std::map<std::string, double> &Values,
+                         const std::map<std::string, double> &Benchmarks);
+
+/// Round-trip reader: extracts the "benchmarks" member of a run report
+/// OR of the flat baseline format (values may be plain numbers or
+/// objects carrying "time_ns").  Empty map when absent.
+std::map<std::string, double> benchmarksFromJson(const JsonValue &Document);
+
+/// Human-readable digest of a snapshot (counters, gauges, histogram
+/// mean/min/max) — the "run summary" surfaces print.
+void printSummary(std::ostream &OS, const MetricsSnapshot &Snapshot);
+
+/// RAII run scope driven by the environment (see file comment).
+/// Construction resets the registry so the report covers exactly this
+/// run; destruction exports.
+class Session {
+public:
+  explicit Session(std::string RunName);
+  ~Session();
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Records a run-level result scalar ("values" member).
+  void recordValue(const std::string &Name, double Value);
+
+  /// Records one benchmark timing in nanoseconds ("benchmarks" member).
+  void recordBenchmark(const std::string &Name, double Ns);
+
+  /// Whether any telemetry output was requested for this run.
+  bool active() const { return Active; }
+
+private:
+  RunInfo Info;
+  std::map<std::string, double> Values;
+  std::map<std::string, double> Benchmarks;
+  std::string RunJsonPath;
+  std::string TraceJsonPath;
+  bool PrintSummary = false;
+  bool Active = false;
+};
+
+} // namespace obs
+} // namespace fgbs
+
+#endif // FGBS_OBS_RUNREPORT_H

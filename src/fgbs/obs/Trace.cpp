@@ -1,0 +1,115 @@
+//===- fgbs/obs/Trace.cpp - Scoped timers and trace spans -----------------===//
+
+#include "fgbs/obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+using namespace fgbs;
+using namespace fgbs::obs;
+
+namespace {
+
+std::atomic<bool> Tracing{false};
+
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return Epoch;
+}
+
+/// Per-thread span nesting level.
+thread_local unsigned SpanDepth = 0;
+
+} // namespace
+
+std::uint64_t obs::nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - traceEpoch())
+          .count());
+}
+
+bool obs::tracingEnabled() {
+  return Tracing.load(std::memory_order_relaxed);
+}
+
+void obs::setTracingEnabled(bool On) {
+  traceEpoch(); // Pin the epoch no later than the first enable.
+  Tracing.store(On, std::memory_order_relaxed);
+}
+
+TraceLog &TraceLog::global() {
+  static TraceLog *Log = new TraceLog(); // Leaked, like the registry.
+  return *Log;
+}
+
+void TraceLog::record(TraceEvent Event) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back(std::move(Event));
+}
+
+std::vector<TraceEvent> TraceLog::events() const {
+  std::vector<TraceEvent> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out = Events;
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.StartNs < B.StartNs;
+                   });
+  return Out;
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.clear();
+}
+
+void obs::writeChromeTrace(std::ostream &OS,
+                           const std::vector<TraceEvent> &Events) {
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!First)
+      OS << ",";
+    First = false;
+    // trace_event wants microsecond doubles; depth rides along as an
+    // argument for tooling that groups by nesting level.
+    OS << "{\"name\":\"" << E.Name << "\",\"cat\":\"fgbs\",\"ph\":\"X\""
+       << ",\"ts\":" << static_cast<double>(E.StartNs) / 1e3
+       << ",\"dur\":" << static_cast<double>(E.DurationNs) / 1e3
+       << ",\"pid\":1,\"tid\":" << E.ThreadId << ",\"args\":{\"depth\":"
+       << E.Depth << "}}";
+  }
+  OS << "]}\n";
+}
+
+TraceSpan::TraceSpan(const char *SpanName) : Name(nullptr) {
+  Traced = tracingEnabled();
+  if (!Traced && !enabled())
+    return;
+  Name = SpanName;
+  Depth = SpanDepth++;
+  Start = nowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!Name)
+    return;
+  std::uint64_t Duration = nowNs() - Start;
+  --SpanDepth;
+  if (Traced) {
+    TraceEvent E;
+    E.Name = Name;
+    E.StartNs = Start;
+    E.DurationNs = Duration;
+    E.ThreadId = detail::threadSlot();
+    E.Depth = Depth;
+    TraceLog::global().record(std::move(E));
+  }
+  if (enabled())
+    MetricsRegistry::global().histogram(Name).record(Duration);
+}

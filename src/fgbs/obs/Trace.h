@@ -1,0 +1,123 @@
+//===- fgbs/obs/Trace.h - Scoped timers and trace spans --------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII timing primitives over the metrics registry:
+///
+///  - ScopedTimer records its scope's wall time into a latency
+///    Histogram when telemetry is enabled, and is a no-op otherwise.
+///  - TraceSpan additionally logs a begin/duration event into the
+///    process-wide TraceLog, nested via a per-thread depth counter;
+///    the log exports to Chrome's trace_event JSON so flame charts of a
+///    run open directly in chrome://tracing or Perfetto.
+///
+/// Span recording takes one mutex-protected vector append per span at
+/// destruction; spans mark phases (pipeline steps, GA generations),
+/// not inner loops, so this is far off every hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_OBS_TRACE_H
+#define FGBS_OBS_TRACE_H
+
+#include "fgbs/obs/Metrics.h"
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace fgbs {
+namespace obs {
+
+/// Monotonic nanoseconds since the process trace epoch.
+std::uint64_t nowNs();
+
+/// One completed span.
+struct TraceEvent {
+  std::string Name;
+  std::uint64_t StartNs = 0;
+  std::uint64_t DurationNs = 0;
+  unsigned ThreadId = 0; ///< detail::threadSlot() of the recording thread.
+  unsigned Depth = 0;    ///< Nesting level within its thread, 0 = root.
+};
+
+/// Whether spans are being collected (off by default; implies nothing
+/// about metrics, the two switch independently).
+bool tracingEnabled();
+void setTracingEnabled(bool On);
+
+/// The process-wide span log.
+class TraceLog {
+public:
+  static TraceLog &global();
+
+  void record(TraceEvent Event);
+
+  /// Copies the events collected so far, ordered by start time.
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<TraceEvent> Events;
+};
+
+/// Writes \p Events in Chrome trace_event JSON ("X" complete events;
+/// open the file in chrome://tracing or ui.perfetto.dev).
+void writeChromeTrace(std::ostream &OS, const std::vector<TraceEvent> &Events);
+
+/// Records the lifetime of its scope into a histogram metric.  The
+/// histogram handle is resolved by the caller (typically once, via
+/// FGBS_SCOPED_TIMER or a cached member); a null histogram disables the
+/// timer entirely.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Histogram *H) : Hist(H), Start(H ? nowNs() : 0) {}
+  ~ScopedTimer() {
+    if (Hist)
+      Hist->record(nowNs() - Start);
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Histogram *Hist;
+  std::uint64_t Start;
+};
+
+/// Records a named span into the TraceLog (when tracing is on) and into
+/// the histogram metric of the same name (when metrics are on).
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  const char *Name; ///< Null when both trace and metrics were off.
+  bool Traced = false;
+  std::uint64_t Start = 0;
+  unsigned Depth = 0;
+};
+
+/// Times a scope into the named histogram metric (no trace event).
+#define FGBS_SCOPED_TIMER(NameLiteral)                                         \
+  fgbs::obs::ScopedTimer FGBS_OBS_CONCAT(FgbsObsTimer, __LINE__)(              \
+      fgbs::obs::enabled()                                                     \
+          ? &fgbs::obs::MetricsRegistry::global().histogram(NameLiteral)       \
+          : nullptr)
+
+/// Times a scope into the named histogram metric AND the trace log.
+#define FGBS_TRACE_SPAN(NameLiteral)                                           \
+  fgbs::obs::TraceSpan FGBS_OBS_CONCAT(FgbsObsSpan, __LINE__)(NameLiteral)
+
+} // namespace obs
+} // namespace fgbs
+
+#endif // FGBS_OBS_TRACE_H

@@ -2,10 +2,36 @@
 
 #include "fgbs/support/ThreadPool.h"
 
+#include "fgbs/obs/Trace.h"
+
 #include <cstdlib>
 #include <string>
 
 using namespace fgbs;
+
+namespace {
+
+// Pool metric handles, resolved once per process (the registry keeps
+// them alive and stable); recording still checks obs::enabled() first.
+obs::Histogram &taskLatencyHist() {
+  static obs::Histogram &H =
+      obs::MetricsRegistry::global().histogram("pool.task_ns");
+  return H;
+}
+
+obs::Histogram &jobLatencyHist() {
+  static obs::Histogram &H =
+      obs::MetricsRegistry::global().histogram("pool.job_ns");
+  return H;
+}
+
+obs::Histogram &callerWaitHist() {
+  static obs::Histogram &H =
+      obs::MetricsRegistry::global().histogram("pool.caller_wait_ns");
+  return H;
+}
+
+} // namespace
 
 unsigned ThreadPool::defaultThreadCount() {
   if (const char *Env = std::getenv("FGBS_THREADS")) {
@@ -43,12 +69,21 @@ void ThreadPool::recordError(std::exception_ptr Error) {
 }
 
 void ThreadPool::consume(const std::function<void(std::size_t)> &Fn) {
+  // Sampled once per drain: task timing stays consistent within a job
+  // and costs nothing but this branch when telemetry is off.
+  const bool Telemetry = obs::enabled();
   for (;;) {
     std::size_t Index = NextIndex.fetch_add(1, std::memory_order_relaxed);
     if (Index >= JobEnd)
       return;
     try {
-      Fn(Index);
+      if (Telemetry) {
+        std::uint64_t Start = obs::nowNs();
+        Fn(Index);
+        taskLatencyHist().record(obs::nowNs() - Start);
+      } else {
+        Fn(Index);
+      }
     } catch (...) {
       recordError(std::current_exception());
       // Drain the remaining indices so the job finishes promptly.
@@ -85,9 +120,23 @@ void ThreadPool::parallelFor(std::size_t Begin, std::size_t End,
                              const std::function<void(std::size_t)> &Fn) {
   if (Begin >= End)
     return;
+  obs::ScopedTimer JobTimer(obs::enabled() ? &jobLatencyHist() : nullptr);
+  FGBS_COUNTER_ADD("pool.jobs", 1);
+  FGBS_COUNTER_ADD("pool.tasks", End - Begin);
+  FGBS_GAUGE_SET("pool.queue_depth", End - Begin);
+  FGBS_GAUGE_SET("pool.threads", threadCount());
   if (Workers.empty()) {
-    for (std::size_t Index = Begin; Index < End; ++Index)
-      Fn(Index);
+    const bool Telemetry = obs::enabled();
+    for (std::size_t Index = Begin; Index < End; ++Index) {
+      if (Telemetry) {
+        std::uint64_t Start = obs::nowNs();
+        Fn(Index);
+        taskLatencyHist().record(obs::nowNs() - Start);
+      } else {
+        Fn(Index);
+      }
+    }
+    FGBS_GAUGE_SET("pool.queue_depth", 0);
     return;
   }
 
@@ -104,9 +153,13 @@ void ThreadPool::parallelFor(std::size_t Begin, std::size_t End,
 
   consume(Fn); // The caller participates.
 
+  // How long the caller sits behind its workers after finishing its own
+  // share: the pool's load-imbalance signal.
+  obs::ScopedTimer WaitTimer(obs::enabled() ? &callerWaitHist() : nullptr);
   std::unique_lock<std::mutex> Lock(Mutex);
   DoneCv.wait(Lock, [this] { return Working == 0; });
   JobFn = nullptr;
+  FGBS_GAUGE_SET("pool.queue_depth", 0);
   if (FirstError) {
     std::exception_ptr Error = FirstError;
     FirstError = nullptr;

@@ -1,0 +1,378 @@
+//===- tests/obs_test.cpp - Telemetry: metrics, spans, reports, gate ------===//
+
+#include "fgbs/obs/Gate.h"
+#include "fgbs/obs/Json.h"
+#include "fgbs/obs/Metrics.h"
+#include "fgbs/obs/RunReport.h"
+#include "fgbs/obs/Trace.h"
+#include "fgbs/support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <thread>
+
+using namespace fgbs;
+
+namespace {
+
+// Telemetry switches are process globals; every test runs from a clean,
+// enabled registry and leaves everything off again.
+class Obs : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::MetricsRegistry::global().reset();
+    obs::TraceLog::global().clear();
+    obs::setEnabled(true);
+    obs::setTracingEnabled(false);
+  }
+  void TearDown() override {
+    obs::setEnabled(false);
+    obs::setTracingEnabled(false);
+    obs::MetricsRegistry::global().reset();
+    obs::TraceLog::global().clear();
+  }
+};
+
+} // namespace
+
+TEST_F(Obs, CounterAccumulates) {
+  obs::Counter &C = obs::MetricsRegistry::global().counter("t.counter");
+  C.add(3);
+  C.increment();
+  EXPECT_EQ(C.total(), 4u);
+  C.reset();
+  EXPECT_EQ(C.total(), 0u);
+}
+
+TEST_F(Obs, GaugeLastValueWins) {
+  obs::Gauge &G = obs::MetricsRegistry::global().gauge("t.gauge");
+  G.set(2.5);
+  G.set(7.0);
+  EXPECT_EQ(G.get(), 7.0);
+}
+
+TEST_F(Obs, RegistryReturnsStableHandles) {
+  obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+  obs::Counter &A = R.counter("t.same");
+  obs::Counter &B = R.counter("t.same");
+  EXPECT_EQ(&A, &B);
+  A.add(1);
+  R.reset(); // zeroes, but the handle stays registered and valid
+  B.add(2);
+  EXPECT_EQ(R.snapshot().Counters.at("t.same"), 2u);
+}
+
+// The sharded counter must not lose updates when many threads hammer it
+// through the real ThreadPool (more workers than shards would ever map
+// 1:1, so slots collide and the fetch_add path is exercised).
+TEST_F(Obs, CounterMergesConcurrentWriters) {
+  obs::Counter &C = obs::MetricsRegistry::global().counter("t.stress");
+  constexpr std::size_t Tasks = 64;
+  constexpr std::uint64_t PerTask = 10000;
+  ThreadPool Pool(8);
+  Pool.parallelFor(0, Tasks, [&](std::size_t) {
+    for (std::uint64_t I = 0; I < PerTask; ++I)
+      C.increment();
+  });
+  EXPECT_EQ(C.total(), Tasks * PerTask);
+}
+
+TEST_F(Obs, HistogramMergesConcurrentWriters) {
+  obs::Histogram &H = obs::MetricsRegistry::global().histogram("t.stress_h");
+  constexpr std::size_t Tasks = 32;
+  constexpr std::uint64_t PerTask = 1000;
+  ThreadPool Pool(8);
+  Pool.parallelFor(0, Tasks, [&](std::size_t Task) {
+    for (std::uint64_t I = 0; I < PerTask; ++I)
+      H.record(1000 * (Task + 1)); // 1us .. 32us, spread over buckets
+  });
+  obs::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, Tasks * PerTask);
+  EXPECT_EQ(S.MinNs, 1000u);
+  EXPECT_EQ(S.MaxNs, 1000u * Tasks);
+  std::uint64_t BucketSum = 0;
+  for (std::uint64_t B : S.Buckets)
+    BucketSum += B;
+  EXPECT_EQ(BucketSum, S.Count);
+}
+
+TEST(ObsHistogram, BucketBoundariesArePowerOfTwoMicroseconds) {
+  // Bucket i covers (1000*2^(i-1), 1000*2^i]; bucket 0 starts at 0.
+  EXPECT_EQ(obs::bucketUpperBoundNs(0), 1000u);
+  EXPECT_EQ(obs::bucketUpperBoundNs(1), 2000u);
+  EXPECT_EQ(obs::bucketUpperBoundNs(10), 1024000u);
+  EXPECT_EQ(obs::bucketUpperBoundNs(obs::NumHistogramBuckets - 1), ~0ull);
+
+  EXPECT_EQ(obs::Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucketFor(1000), 0u); // bounds are inclusive
+  EXPECT_EQ(obs::Histogram::bucketFor(1001), 1u);
+  EXPECT_EQ(obs::Histogram::bucketFor(2000), 1u);
+  EXPECT_EQ(obs::Histogram::bucketFor(2001), 2u);
+  for (unsigned I = 0; I + 1 < obs::NumHistogramBuckets; ++I) {
+    EXPECT_EQ(obs::Histogram::bucketFor(obs::bucketUpperBoundNs(I)), I);
+    EXPECT_EQ(obs::Histogram::bucketFor(obs::bucketUpperBoundNs(I) + 1), I + 1);
+  }
+  EXPECT_EQ(obs::Histogram::bucketFor(~0ull), obs::NumHistogramBuckets - 1);
+}
+
+TEST_F(Obs, HistogramTracksMinMaxMean) {
+  obs::Histogram &H = obs::MetricsRegistry::global().histogram("t.mm");
+  H.record(500);
+  H.record(1500);
+  H.record(4000);
+  obs::HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_EQ(S.MinNs, 500u);
+  EXPECT_EQ(S.MaxNs, 4000u);
+  EXPECT_DOUBLE_EQ(S.meanNs(), 2000.0);
+}
+
+// When telemetry is off, the macros must not register or record
+// anything — the disabled path is the tier-1 default.  (Registrations
+// from other tests survive reset(), so assert on this test's names.)
+TEST_F(Obs, DisabledModeIsANoOp) {
+  obs::Counter &Pre = obs::MetricsRegistry::global().counter("t.pre_reg");
+  obs::setEnabled(false);
+  FGBS_COUNTER_ADD("t.never", 5);
+  FGBS_GAUGE_SET("t.never_g", 1.0);
+  FGBS_HISTOGRAM_RECORD_NS("t.never_h", 100);
+  Pre.add(0); // direct handle use still records; macros must not reach it
+  { FGBS_SCOPED_TIMER("t.never_t"); }
+  { FGBS_TRACE_SPAN("t.never_s"); }
+  obs::MetricsSnapshot S = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(S.Counters.count("t.never"), 0u);
+  EXPECT_EQ(S.Gauges.count("t.never_g"), 0u);
+  EXPECT_EQ(S.Histograms.count("t.never_h"), 0u);
+  EXPECT_EQ(S.Histograms.count("t.never_t"), 0u);
+  EXPECT_EQ(S.Histograms.count("t.never_s"), 0u);
+  EXPECT_TRUE(obs::TraceLog::global().events().empty());
+}
+
+TEST_F(Obs, MacrosRecordWhenEnabled) {
+  FGBS_COUNTER_ADD("t.m_counter", 2);
+  FGBS_COUNTER_ADD("t.m_counter", 3);
+  FGBS_GAUGE_SET("t.m_gauge", 4.5);
+  FGBS_HISTOGRAM_RECORD_NS("t.m_hist", 1234);
+  obs::MetricsSnapshot S = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(S.Counters.at("t.m_counter"), 5u);
+  EXPECT_EQ(S.Gauges.at("t.m_gauge"), 4.5);
+  EXPECT_EQ(S.Histograms.at("t.m_hist").Count, 1u);
+}
+
+TEST_F(Obs, SpansNestPerThread) {
+  obs::setTracingEnabled(true);
+  {
+    obs::TraceSpan Outer("t.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      obs::TraceSpan Inner("t.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::vector<obs::TraceEvent> Events = obs::TraceLog::global().events();
+  ASSERT_EQ(Events.size(), 2u);
+  // Ordered by start time: outer first, inner nested one level deeper
+  // and contained within the outer interval.
+  EXPECT_EQ(Events[0].Name, "t.outer");
+  EXPECT_EQ(Events[0].Depth, 0u);
+  EXPECT_EQ(Events[1].Name, "t.inner");
+  EXPECT_EQ(Events[1].Depth, 1u);
+  EXPECT_GE(Events[1].StartNs, Events[0].StartNs);
+  EXPECT_LE(Events[1].StartNs + Events[1].DurationNs,
+            Events[0].StartNs + Events[0].DurationNs);
+  // Sibling after the nest returns to depth 0.
+  { obs::TraceSpan After("t.after"); }
+  EXPECT_EQ(obs::TraceLog::global().events().back().Depth, 0u);
+}
+
+TEST_F(Obs, SpanFeedsHistogramOfSameName) {
+  { obs::TraceSpan Span("t.span_hist"); }
+  obs::MetricsSnapshot S = obs::MetricsRegistry::global().snapshot();
+  EXPECT_EQ(S.Histograms.at("t.span_hist").Count, 1u);
+}
+
+TEST_F(Obs, ChromeTraceExportIsValidJson) {
+  obs::setTracingEnabled(true);
+  {
+    obs::TraceSpan Outer("t.chrome");
+    obs::TraceSpan Inner("t.chrome_inner");
+  }
+  std::ostringstream OS;
+  obs::writeChromeTrace(OS, obs::TraceLog::global().events());
+  std::optional<obs::JsonValue> Doc = obs::parseJson(OS.str());
+  ASSERT_TRUE(Doc.has_value());
+  const obs::JsonValue *Events = Doc->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->elements().size(), 2u);
+  const obs::JsonValue &First = Events->elements()[0];
+  EXPECT_EQ(First.find("ph")->string(), "X");
+  EXPECT_EQ(First.find("name")->string(), "t.chrome");
+}
+
+TEST(ObsJson, ParsesScalarsArraysObjects) {
+  std::optional<obs::JsonValue> V =
+      obs::parseJson(R"({"a": [1, 2.5, -3e2], "b": {"c": true, "d": null},)"
+                     R"( "s": "x\nyA"})");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->find("a")->elements()[2].number(), -300.0);
+  EXPECT_TRUE(V->find("b")->find("c")->boolean());
+  EXPECT_TRUE(V->find("b")->find("d")->isNull());
+  EXPECT_EQ(V->find("s")->string(), "x\nyA");
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_FALSE(obs::parseJson("").has_value());
+  EXPECT_FALSE(obs::parseJson("{").has_value());
+  EXPECT_FALSE(obs::parseJson("{\"a\": 1,}").has_value());
+  EXPECT_FALSE(obs::parseJson("[1 2]").has_value());
+  EXPECT_FALSE(obs::parseJson("\"unterminated").has_value());
+  EXPECT_FALSE(obs::parseJson("{} trailing").has_value());
+}
+
+TEST(ObsJson, WriteParseRoundTripPreservesNumbers) {
+  obs::JsonValue Doc = obs::JsonValue::object();
+  Doc.set("int", obs::JsonValue(423024576.0));
+  Doc.set("frac", obs::JsonValue(1062017.4432989692));
+  Doc.set("tiny", obs::JsonValue(0.001));
+  for (unsigned Indent : {0u, 2u}) {
+    std::optional<obs::JsonValue> Back =
+        obs::parseJson(obs::writeJson(Doc, Indent));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(Back->find("int")->number(), 423024576.0);
+    EXPECT_EQ(Back->find("frac")->number(), 1062017.4432989692);
+    EXPECT_EQ(Back->find("tiny")->number(), 0.001);
+  }
+}
+
+TEST_F(Obs, RunReportRoundTripsThroughSchema) {
+  FGBS_COUNTER_ADD("t.report_counter", 42);
+  FGBS_GAUGE_SET("t.report_gauge", 3.5);
+  FGBS_HISTOGRAM_RECORD_NS("t.report_hist", 1500);
+
+  obs::RunInfo Info;
+  Info.Name = "obs_test";
+  Info.Threads = 4;
+  std::map<std::string, double> Values{{"elbow_k", 18.0}};
+  std::map<std::string, double> Benchmarks{{"BM_Fake/1", 123456.0}};
+  obs::JsonValue Report =
+      obs::buildRunReport(Info, obs::MetricsRegistry::global().snapshot(),
+                          Values, Benchmarks);
+
+  std::optional<obs::JsonValue> Back =
+      obs::parseJson(obs::writeJson(Report, 2));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->find("schema")->string(), "fgbs.run.v1");
+  EXPECT_EQ(Back->find("run")->find("name")->string(), "obs_test");
+  EXPECT_EQ(Back->find("run")->find("threads")->number(), 4.0);
+  EXPECT_EQ(Back->find("values")->find("elbow_k")->number(), 18.0);
+
+  const obs::JsonValue *Metrics = Back->find("metrics");
+  ASSERT_NE(Metrics, nullptr);
+  EXPECT_EQ(Metrics->find("counters")->find("t.report_counter")->number(),
+            42.0);
+  EXPECT_EQ(Metrics->find("gauges")->find("t.report_gauge")->number(), 3.5);
+  const obs::JsonValue *Hist =
+      Metrics->find("histograms")->find("t.report_hist");
+  ASSERT_NE(Hist, nullptr);
+  EXPECT_EQ(Hist->find("count")->number(), 1.0);
+  EXPECT_EQ(Hist->find("buckets")->elements().size(),
+            obs::NumHistogramBuckets);
+  // The overflow bucket has no upper bound.
+  EXPECT_TRUE(
+      Hist->find("buckets")->elements().back().find("le_ns")->isNull());
+
+  std::map<std::string, double> BenchesBack = obs::benchmarksFromJson(*Back);
+  EXPECT_EQ(BenchesBack.at("BM_Fake/1"), 123456.0);
+}
+
+TEST(ObsReport, ReadsFlatBaselineBenchmarks) {
+  // The checked-in baseline predates fgbs.run.v1: a bare "benchmarks"
+  // object of name -> ns numbers (or {"time_ns": ...} objects).
+  std::optional<obs::JsonValue> Doc = obs::parseJson(
+      R"({"benchmarks": {"BM_A": 100, "BM_B": {"time_ns": 200}}})");
+  ASSERT_TRUE(Doc.has_value());
+  std::map<std::string, double> B = obs::benchmarksFromJson(*Doc);
+  EXPECT_EQ(B.at("BM_A"), 100.0);
+  EXPECT_EQ(B.at("BM_B"), 200.0);
+  EXPECT_TRUE(obs::benchmarksFromJson(obs::JsonValue::object()).empty());
+}
+
+namespace {
+
+obs::JsonValue benchesDoc(std::map<std::string, double> Benches) {
+  obs::JsonValue Inner = obs::JsonValue::object();
+  for (const auto &[Name, Ns] : Benches)
+    Inner.set(Name, obs::JsonValue(Ns));
+  obs::JsonValue Doc = obs::JsonValue::object();
+  Doc.set("benchmarks", std::move(Inner));
+  return Doc;
+}
+
+} // namespace
+
+TEST(ObsGate, ClassifiesRatiosAgainstThresholds) {
+  obs::JsonValue Baseline = benchesDoc(
+      {{"ok", 1000}, {"warn", 1000}, {"fail", 1000}, {"gone", 1000}});
+  obs::JsonValue Results = benchesDoc(
+      {{"ok", 1400}, {"warn", 2000}, {"fail", 3500}, {"fresh", 10}});
+  obs::GateReport R = obs::compareBenchmarks(Baseline, Results, 1.5, 3.0);
+
+  EXPECT_EQ(R.Compared, 3u);
+  EXPECT_EQ(R.Warnings, 2u); // "warn" + missing "gone"
+  EXPECT_EQ(R.Failures, 1u);
+  EXPECT_FALSE(R.passed());
+
+  std::map<std::string, obs::GateStatus> ByName;
+  for (const obs::GateEntry &E : R.Entries)
+    ByName[E.Name] = E.Status;
+  EXPECT_EQ(ByName.at("ok"), obs::GateStatus::Ok);
+  EXPECT_EQ(ByName.at("warn"), obs::GateStatus::Warn);
+  EXPECT_EQ(ByName.at("fail"), obs::GateStatus::Fail);
+  EXPECT_EQ(ByName.at("gone"), obs::GateStatus::MissingResult);
+  EXPECT_EQ(ByName.at("fresh"), obs::GateStatus::NewBenchmark);
+}
+
+TEST(ObsGate, PassesAtBoundaryAndFailsWhenNothingCompared) {
+  obs::JsonValue Baseline = benchesDoc({{"bm", 1000}});
+  // Exactly the warn threshold still counts as Ok territory's edge: the
+  // policy is strictly-greater-than.
+  obs::GateReport AtWarn = obs::compareBenchmarks(
+      Baseline, benchesDoc({{"bm", 1500}}), 1.5, 3.0);
+  EXPECT_EQ(AtWarn.Warnings, 0u);
+  EXPECT_TRUE(AtWarn.passed());
+
+  // Faster than baseline is plain Ok.
+  obs::GateReport Faster = obs::compareBenchmarks(
+      Baseline, benchesDoc({{"bm", 10}}), 1.5, 3.0);
+  EXPECT_TRUE(Faster.passed());
+
+  // No overlap at all must not silently pass.
+  obs::GateReport Empty = obs::compareBenchmarks(
+      Baseline, benchesDoc({{"other", 10}}), 1.5, 3.0);
+  EXPECT_EQ(Empty.Compared, 0u);
+  EXPECT_FALSE(Empty.passed());
+}
+
+TEST(ObsGate, ReportPrintsVerdictLine) {
+  obs::JsonValue Baseline = benchesDoc({{"bm", 1000}});
+  obs::GateReport R =
+      obs::compareBenchmarks(Baseline, benchesDoc({{"bm", 1100}}), 1.5, 3.0);
+  std::ostringstream OS;
+  obs::printGateReport(OS, R);
+  EXPECT_NE(OS.str().find("perf gate: PASS"), std::string::npos);
+  EXPECT_NE(OS.str().find("1.10"), std::string::npos);
+}
+
+TEST_F(Obs, SummaryListsEveryMetricKind) {
+  FGBS_COUNTER_ADD("t.sum_counter", 7);
+  FGBS_GAUGE_SET("t.sum_gauge", 2.0);
+  FGBS_HISTOGRAM_RECORD_NS("t.sum_hist", 1000000);
+  std::ostringstream OS;
+  obs::printSummary(OS, obs::MetricsRegistry::global().snapshot());
+  EXPECT_NE(OS.str().find("t.sum_counter"), std::string::npos);
+  EXPECT_NE(OS.str().find("t.sum_gauge"), std::string::npos);
+  EXPECT_NE(OS.str().find("t.sum_hist"), std::string::npos);
+}

@@ -100,9 +100,11 @@ TEST(NasSuite, CodeletNamesCarryAppPrefix) {
 
 TEST(NasSuite, CgDominatedByCacheSensitiveMatvec) {
   // The Figure 5 story: one CG codelet holds ~95% of CG's runtime and is
-  // cache-state sensitive.
+  // cache-state sensitive.  (The suite must outlive Cg, which escapes
+  // the loop — a temporary would die with the range-for.)
+  Suite Nas = makeNasSer();
   const Application *Cg = nullptr;
-  for (const Application &App : makeNasSer().Applications)
+  for (const Application &App : Nas.Applications)
     if (App.Name == "cg")
       Cg = &App;
   ASSERT_NE(Cg, nullptr);

@@ -1,0 +1,89 @@
+//===- tools/perf_gate.cpp - CI perf regression gate CLI ------------------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// Compares a fresh benchmark run (any JSON with a "benchmarks" member:
+// an fgbs.run.v1 report from perf_library or the perf-smoke ctest)
+// against the checked-in baseline, and exits non-zero when anything
+// regressed past the fail threshold.  Thresholds default to the CI
+// policy — warn at 1.5x, fail at 3x — generous enough that noisy shared
+// runners warn instead of flapping.
+//
+//   perf_gate <baseline.json> <results.json> [--warn-at R] [--fail-at R]
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/obs/Gate.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace fgbs;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::cerr << "usage: " << Argv0
+            << " <baseline.json> <results.json> [--warn-at RATIO]"
+               " [--fail-at RATIO]\n";
+  return 2;
+}
+
+std::optional<obs::JsonValue> readJsonFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    std::cerr << "perf_gate: cannot read '" << Path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream Buffer;
+  Buffer << IS.rdbuf();
+  std::optional<obs::JsonValue> Parsed = obs::parseJson(Buffer.str());
+  if (!Parsed)
+    std::cerr << "perf_gate: '" << Path << "' is not valid JSON\n";
+  return Parsed;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BaselinePath;
+  std::string ResultsPath;
+  double WarnAt = 1.5;
+  double FailAt = 3.0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if ((Arg == "--warn-at" || Arg == "--fail-at") && I + 1 < argc) {
+      char *End = nullptr;
+      double Ratio = std::strtod(argv[++I], &End);
+      if (End == argv[I] || *End != '\0' || Ratio <= 0.0)
+        return usage(argv[0]);
+      (Arg == "--warn-at" ? WarnAt : FailAt) = Ratio;
+    } else if (BaselinePath.empty()) {
+      BaselinePath = Arg;
+    } else if (ResultsPath.empty()) {
+      ResultsPath = Arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (BaselinePath.empty() || ResultsPath.empty() || FailAt < WarnAt)
+    return usage(argv[0]);
+
+  std::optional<obs::JsonValue> Baseline = readJsonFile(BaselinePath);
+  std::optional<obs::JsonValue> Results = readJsonFile(ResultsPath);
+  if (!Baseline || !Results)
+    return 2;
+
+  obs::GateReport Report =
+      obs::compareBenchmarks(*Baseline, *Results, WarnAt, FailAt);
+  if (Report.Compared == 0)
+    std::cerr << "perf_gate: no benchmark overlaps the baseline — "
+                 "treating an empty comparison as failure\n";
+  obs::printGateReport(std::cout, Report);
+  return Report.passed() ? 0 : 1;
+}
