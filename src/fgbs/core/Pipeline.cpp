@@ -20,13 +20,30 @@ Pipeline::Pipeline(const MeasurementDatabase &Db, PipelineConfig Config)
          "at least one feature must be selected");
 }
 
-FeatureTable Pipeline::buildPoints() const {
-  FGBS_TRACE_SPAN("pipeline.cluster.features");
+FeatureTable Pipeline::buildRawPoints() const {
   std::vector<std::size_t> Kept = Db.keptCodelets();
   FeatureTable Full;
   Full.reserve(Kept.size());
   for (std::size_t Index : Kept)
     Full.push_back(applyMask(Db.profile(Index).Features, Config.Features));
+  return Full;
+}
+
+NormalizationStats Pipeline::normalizationFor(const FeatureTable &Raw) const {
+  if (Config.Normalize)
+    return computeNormalization(Raw);
+  // Identity stats: (x - 0) / 1 leaves raw features untouched, so result
+  // consumers never need to branch on the Normalize knob.
+  std::size_t Dim = Raw.empty() ? maskCount(Config.Features) : Raw[0].size();
+  NormalizationStats Identity;
+  Identity.Mean.assign(Dim, 0.0);
+  Identity.Std.assign(Dim, 1.0);
+  return Identity;
+}
+
+FeatureTable Pipeline::buildPoints() const {
+  FGBS_TRACE_SPAN("pipeline.cluster.features");
+  FeatureTable Full = buildRawPoints();
   return Config.Normalize ? normalizeFeatures(Full) : Full;
 }
 
@@ -34,7 +51,12 @@ PipelineResult Pipeline::run() const {
   FGBS_TRACE_SPAN("pipeline.run");
   FGBS_COUNTER_ADD("pipeline.runs", 1);
   std::vector<std::size_t> Kept = Db.keptCodelets();
-  FeatureTable Points = buildPoints();
+  FeatureTable Raw = [&] {
+    FGBS_TRACE_SPAN("pipeline.cluster.features");
+    return buildRawPoints();
+  }();
+  NormalizationStats Norm = normalizationFor(Raw);
+  FeatureTable Points = Config.Normalize ? normalizeFeatures(Raw) : Raw;
 
   // Step C: hierarchical clustering and the elbow cut.
   Dendrogram Tree = [&] {
@@ -46,24 +68,30 @@ PipelineResult Pipeline::run() const {
   unsigned K = Config.K > 0 ? Config.K : Elbow;
   K = std::min<unsigned>(K, static_cast<unsigned>(Points.size()));
 
-  return evaluate(std::move(Kept), std::move(Points), Tree.cut(K), Elbow);
+  return evaluate(std::move(Kept), std::move(Points), std::move(Norm),
+                  Tree.cut(K), Elbow);
 }
 
 PipelineResult Pipeline::runWithClustering(const Clustering &Initial) const {
   std::vector<std::size_t> Kept = Db.keptCodelets();
-  FeatureTable Points = buildPoints();
+  FeatureTable Raw = buildRawPoints();
+  NormalizationStats Norm = normalizationFor(Raw);
+  FeatureTable Points = Config.Normalize ? normalizeFeatures(Raw) : Raw;
   assert(Initial.Assignment.size() == Kept.size() &&
          "clustering must cover the kept codelets");
-  return evaluate(std::move(Kept), std::move(Points), Initial,
+  return evaluate(std::move(Kept), std::move(Points), std::move(Norm), Initial,
                   /*ElbowChoice=*/0);
 }
 
 PipelineResult Pipeline::evaluate(std::vector<std::size_t> Kept,
-                                  FeatureTable Points, Clustering Initial,
+                                  FeatureTable Points, NormalizationStats Norm,
+                                  Clustering Initial,
                                   unsigned ElbowChoice) const {
   PipelineResult R;
   R.Kept = std::move(Kept);
   R.Points = std::move(Points);
+  R.Mask = Config.Features;
+  R.Norm = std::move(Norm);
   R.ElbowK = ElbowChoice;
   R.InitialK = Initial.K;
   R.Initial = Initial;

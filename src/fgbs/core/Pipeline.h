@@ -80,6 +80,13 @@ struct PipelineResult {
   std::vector<std::size_t> Kept;
   /// Clustering inputs after masking (and normalization if enabled).
   FeatureTable Points;
+  /// The feature mask that produced Points (copied from the config so a
+  /// result is self-describing — model snapshots persist it).
+  FeatureMask Mask;
+  /// Normalization applied to the masked columns.  When the config
+  /// disables normalization this is the identity (mean 0, std 1), so
+  /// consumers can always classify a new vector as (x - Mean) / Std.
+  NormalizationStats Norm;
   /// K selected by the Elbow method (even when config.K overrides it).
   unsigned ElbowK = 0;
   /// K actually used for the initial cut.
@@ -111,7 +118,15 @@ public:
 
 private:
   PipelineResult evaluate(std::vector<std::size_t> Kept, FeatureTable Points,
-                          Clustering Initial, unsigned ElbowChoice) const;
+                          NormalizationStats Norm, Clustering Initial,
+                          unsigned ElbowChoice) const;
+
+  /// The masked but unnormalized feature table over kept codelets.
+  FeatureTable buildRawPoints() const;
+
+  /// The normalization a result should carry: the raw table's per-column
+  /// stats, or the identity when normalization is disabled.
+  NormalizationStats normalizationFor(const FeatureTable &Raw) const;
 
   const MeasurementDatabase &Db;
   PipelineConfig Config;

@@ -122,17 +122,28 @@ static std::vector<std::string> splitCsvLine(const std::string &Line) {
   return Cells;
 }
 
+/// Drops the carriage return a CRLF-terminated line leaves behind when
+/// the stream is read on a platform with LF line endings.
+static void stripCarriageReturn(std::string &Line) {
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+}
+
 std::optional<FeatureMatrixCsv> fgbs::readFeatureMatrixCsv(std::istream &IS) {
   FeatureMatrixCsv Out;
   std::string Line;
   if (!std::getline(IS, Line))
     return std::nullopt;
+  stripCarriageReturn(Line);
   std::vector<std::string> Header = splitCsvLine(Line);
   if (Header.size() < 2 || Header.front() != "name")
     return std::nullopt;
   Out.ColumnNames.assign(Header.begin() + 1, Header.end());
 
+  // getline also delivers a final row with no trailing newline, so files
+  // from editors that omit it parse the same as POSIX-terminated ones.
   while (std::getline(IS, Line)) {
+    stripCarriageReturn(Line);
     if (Line.empty())
       continue;
     std::vector<std::string> Cells = splitCsvLine(Line);

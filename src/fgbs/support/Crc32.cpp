@@ -1,0 +1,38 @@
+//===- fgbs/support/Crc32.cpp - CRC-32 checksums --------------------------===//
+
+#include "fgbs/support/Crc32.h"
+
+#include <array>
+
+using namespace fgbs;
+
+namespace {
+
+/// The 256-entry lookup table for the reflected IEEE polynomial, built
+/// once at static-initialization time (cheap: 2048 shifts).
+std::array<std::uint32_t, 256> buildTable() {
+  std::array<std::uint32_t, 256> Table{};
+  for (std::uint32_t I = 0; I < 256; ++I) {
+    std::uint32_t C = I;
+    for (int Bit = 0; Bit < 8; ++Bit)
+      C = (C >> 1) ^ ((C & 1u) ? 0xedb88320u : 0u);
+    Table[I] = C;
+  }
+  return Table;
+}
+
+const std::array<std::uint32_t, 256> &table() {
+  static const std::array<std::uint32_t, 256> Table = buildTable();
+  return Table;
+}
+
+} // namespace
+
+std::uint32_t fgbs::crc32Update(std::uint32_t Crc, const void *Data,
+                                std::size_t Size) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  const std::array<std::uint32_t, 256> &T = table();
+  for (std::size_t I = 0; I < Size; ++I)
+    Crc = T[(Crc ^ Bytes[I]) & 0xffu] ^ (Crc >> 8);
+  return Crc;
+}

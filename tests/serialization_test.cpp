@@ -55,23 +55,66 @@ TEST(FeatureMatrixCsv, RoundTrip) {
       EXPECT_DOUBLE_EQ(Back->Points[I][J], Points[I][J]);
 }
 
-TEST(FeatureMatrixCsv, RejectsMalformed) {
-  {
-    std::stringstream SS("not_name,a\nx,1\n");
-    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
-  }
-  {
-    std::stringstream SS("name,a,b\nx,1\n"); // Ragged row.
-    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
-  }
-  {
-    std::stringstream SS("name,a\nx,notanumber\n");
-    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
-  }
-  {
-    std::stringstream SS(""); // Missing header.
-    EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
-  }
+TEST(FeatureMatrixCsv, RejectsWrongHeader) {
+  std::stringstream SS("not_name,a\nx,1\n");
+  EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+}
+
+TEST(FeatureMatrixCsv, RejectsHeaderWithoutColumns) {
+  std::stringstream SS("name\nx\n");
+  EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+}
+
+TEST(FeatureMatrixCsv, RejectsRaggedRow) {
+  std::stringstream Short("name,a,b\nx,1\n");
+  EXPECT_FALSE(readFeatureMatrixCsv(Short).has_value());
+  std::stringstream Long("name,a\nx,1,2\n");
+  EXPECT_FALSE(readFeatureMatrixCsv(Long).has_value());
+}
+
+TEST(FeatureMatrixCsv, RejectsNonNumericCell) {
+  std::stringstream SS("name,a\nx,notanumber\n");
+  EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+  // Trailing junk after a valid prefix is also not a number.
+  std::stringstream Junk("name,a\nx,1.5potato\n");
+  EXPECT_FALSE(readFeatureMatrixCsv(Junk).has_value());
+}
+
+TEST(FeatureMatrixCsv, RejectsMissingHeader) {
+  std::stringstream SS("");
+  EXPECT_FALSE(readFeatureMatrixCsv(SS).has_value());
+}
+
+TEST(FeatureMatrixCsv, AcceptsCrlfLineEndings) {
+  // A file that crossed a Windows toolchain: every line CRLF-terminated.
+  std::stringstream SS("name,a,b\r\np0,1.5,2.5\r\np1,-3,4e2\r\n");
+  std::optional<FeatureMatrixCsv> Back = readFeatureMatrixCsv(SS);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->ColumnNames, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Back->RowNames, (std::vector<std::string>{"p0", "p1"}));
+  ASSERT_EQ(Back->Points.size(), 2u);
+  EXPECT_DOUBLE_EQ(Back->Points[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(Back->Points[1][1], 400.0);
+
+  // A lone CR line is blank, not a ragged row.
+  std::stringstream Blank("name,a\r\n\r\np0,1\r\n");
+  EXPECT_TRUE(readFeatureMatrixCsv(Blank).has_value());
+}
+
+TEST(FeatureMatrixCsv, AcceptsFinalRowWithoutNewline) {
+  std::stringstream SS("name,a\np0,1\np1,2"); // no trailing '\n'
+  std::optional<FeatureMatrixCsv> Back = readFeatureMatrixCsv(SS);
+  ASSERT_TRUE(Back.has_value());
+  ASSERT_EQ(Back->Points.size(), 2u);
+  EXPECT_DOUBLE_EQ(Back->Points[1][0], 2.0);
+
+  // CRLF file whose final row also lacks the newline: the stray CR must
+  // not glue itself onto the last numeric cell.
+  std::stringstream Crlf("name,a\r\np0,1\r");
+  std::optional<FeatureMatrixCsv> Tail = readFeatureMatrixCsv(Crlf);
+  ASSERT_TRUE(Tail.has_value());
+  ASSERT_EQ(Tail->Points.size(), 1u);
+  EXPECT_DOUBLE_EQ(Tail->Points[0][0], 1.0);
 }
 
 TEST(FeatureMatrixCsv, QuotedCellsRoundTrip) {

@@ -1,0 +1,289 @@
+//===- tools/fgbs_query.cpp - Online system-selection query CLI -----------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// The online half of the service: load an fgbs.model.v1 snapshot and
+// answer line-delimited JSON requests (see service/Protocol.h for the
+// schema) — one response line per request line, errors as structured
+// responses, never a crash.
+//
+//   fgbs_query MODEL [--script IN] [--out OUT] [--threads N]
+//   fgbs_query --compare GOLDEN ACTUAL [--tolerance T]
+//
+// The --compare mode diffs two response streams with a numeric
+// tolerance, so CI golden tests survive benign last-ulp drift between
+// compilers while still catching real behaviour changes.
+//
+// Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/obs/RunReport.h"
+#include "fgbs/obs/Trace.h"
+#include "fgbs/service/Protocol.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+using namespace fgbs;
+
+namespace {
+
+constexpr const char *kVersion = "fgbs_query (fgbs.model.v1 reader) 1.0";
+
+int usage(std::ostream &OS, int Exit) {
+  OS << "usage: fgbs_query MODEL [--script IN] [--out OUT] [--threads N]\n"
+        "       fgbs_query --compare GOLDEN ACTUAL [--tolerance T]\n"
+        "\n"
+        "Serves line-delimited JSON requests against a trained\n"
+        "fgbs.model.v1 snapshot (see fgbs_train).  Requests are read\n"
+        "from stdin (or --script FILE), one JSON object per line;\n"
+        "responses go to stdout (or --out FILE), one per line.\n"
+        "\n"
+        "  ops: {\"op\":\"info\"}\n"
+        "       {\"op\":\"classify\",\"features\":[76 numbers]}\n"
+        "       {\"op\":\"predict\",\"features\":[...],\"ref_seconds\":S}\n"
+        "       {\"op\":\"rank\",\"queries\":[{...},...]}\n"
+        "\n"
+        "  --script IN     read requests from IN instead of stdin\n"
+        "  --out OUT       write responses to OUT instead of stdout\n"
+        "  --threads N     thread-pool size for batched ops (default 1)\n"
+        "  --compare G A   tolerance-diff two response streams\n"
+        "  --tolerance T   relative tolerance for --compare (default 1e-9)\n"
+        "  --help          print this help and exit\n"
+        "  --version       print the tool version and exit\n";
+  return Exit;
+}
+
+/// Structural JSON equality with relative tolerance on numbers.
+bool jsonClose(const obs::JsonValue &A, const obs::JsonValue &B,
+               double Tolerance, std::string &Where) {
+  if (A.kind() != B.kind()) {
+    Where = "value kinds differ";
+    return false;
+  }
+  switch (A.kind()) {
+  case obs::JsonValue::Kind::Null:
+    return true;
+  case obs::JsonValue::Kind::Bool:
+    if (A.boolean() != B.boolean()) {
+      Where = "booleans differ";
+      return false;
+    }
+    return true;
+  case obs::JsonValue::Kind::Number: {
+    double X = A.number();
+    double Y = B.number();
+    double Scale = std::max({1.0, std::fabs(X), std::fabs(Y)});
+    if (std::fabs(X - Y) > Tolerance * Scale) {
+      Where = "numbers differ: " + std::to_string(X) + " vs " +
+              std::to_string(Y);
+      return false;
+    }
+    return true;
+  }
+  case obs::JsonValue::Kind::String:
+    if (A.string() != B.string()) {
+      Where = "strings differ: \"" + A.string() + "\" vs \"" + B.string() +
+              "\"";
+      return false;
+    }
+    return true;
+  case obs::JsonValue::Kind::Array: {
+    if (A.elements().size() != B.elements().size()) {
+      Where = "array lengths differ";
+      return false;
+    }
+    for (std::size_t I = 0; I < A.elements().size(); ++I)
+      if (!jsonClose(A.elements()[I], B.elements()[I], Tolerance, Where)) {
+        Where = "[" + std::to_string(I) + "] " + Where;
+        return false;
+      }
+    return true;
+  }
+  case obs::JsonValue::Kind::Object: {
+    if (A.members().size() != B.members().size()) {
+      Where = "object sizes differ";
+      return false;
+    }
+    auto ItA = A.members().begin();
+    auto ItB = B.members().begin();
+    for (; ItA != A.members().end(); ++ItA, ++ItB) {
+      if (ItA->first != ItB->first) {
+        Where = "keys differ: \"" + ItA->first + "\" vs \"" + ItB->first +
+                "\"";
+        return false;
+      }
+      if (!jsonClose(ItA->second, ItB->second, Tolerance, Where)) {
+        Where = "." + ItA->first + " " + Where;
+        return false;
+      }
+    }
+    return true;
+  }
+  }
+  Where = "unknown kind";
+  return false;
+}
+
+int compareStreams(const std::string &GoldenPath, const std::string &ActualPath,
+                   double Tolerance) {
+  std::ifstream Golden(GoldenPath);
+  if (!Golden) {
+    std::cerr << "fgbs_query: cannot read '" << GoldenPath << "'\n";
+    return 2;
+  }
+  std::ifstream Actual(ActualPath);
+  if (!Actual) {
+    std::cerr << "fgbs_query: cannot read '" << ActualPath << "'\n";
+    return 2;
+  }
+
+  std::string GoldenLine;
+  std::string ActualLine;
+  std::size_t LineNo = 0;
+  while (true) {
+    bool HaveGolden = static_cast<bool>(std::getline(Golden, GoldenLine));
+    bool HaveActual = static_cast<bool>(std::getline(Actual, ActualLine));
+    ++LineNo;
+    if (!HaveGolden && !HaveActual)
+      break;
+    if (HaveGolden != HaveActual) {
+      std::cerr << "fgbs_query: line " << LineNo << ": '"
+                << (HaveGolden ? ActualPath : GoldenPath)
+                << "' ends early\n";
+      return 1;
+    }
+    std::optional<obs::JsonValue> G = obs::parseJson(GoldenLine);
+    std::optional<obs::JsonValue> A = obs::parseJson(ActualLine);
+    if (!G || !A) {
+      std::cerr << "fgbs_query: line " << LineNo << ": invalid JSON in '"
+                << (!G ? GoldenPath : ActualPath) << "'\n";
+      return 1;
+    }
+    std::string Where;
+    if (!jsonClose(*G, *A, Tolerance, Where)) {
+      std::cerr << "fgbs_query: line " << LineNo << ": " << Where << "\n"
+                << "  golden: " << GoldenLine << "\n"
+                << "  actual: " << ActualLine << "\n";
+      return 1;
+    }
+  }
+  std::cout << "fgbs_query: " << (LineNo - 1)
+            << " response lines match within tolerance " << Tolerance << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string ModelPath;
+  std::string ScriptPath;
+  std::string OutPath;
+  std::string ComparePathA;
+  std::string ComparePathB;
+  bool CompareMode = false;
+  double Tolerance = 1e-9;
+  unsigned Threads = 1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h")
+      return usage(std::cout, 0);
+    if (Arg == "--version") {
+      std::cout << kVersion << "\n";
+      return 0;
+    }
+    if (Arg == "--compare" && I + 2 < argc) {
+      CompareMode = true;
+      ComparePathA = argv[++I];
+      ComparePathB = argv[++I];
+    } else if (Arg == "--tolerance" && I + 1 < argc) {
+      char *End = nullptr;
+      Tolerance = std::strtod(argv[++I], &End);
+      if (End == argv[I] || *End != '\0' || Tolerance < 0.0) {
+        std::cerr << "fgbs_query: --tolerance needs a non-negative number\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--script" && I + 1 < argc) {
+      ScriptPath = argv[++I];
+    } else if (Arg == "--out" && I + 1 < argc) {
+      OutPath = argv[++I];
+    } else if (Arg == "--threads" && I + 1 < argc) {
+      char *End = nullptr;
+      long V = std::strtol(argv[++I], &End, 10);
+      if (End == argv[I] || *End != '\0' || V <= 0) {
+        std::cerr << "fgbs_query: --threads needs a positive integer\n";
+        return usage(std::cerr, 2);
+      }
+      Threads = static_cast<unsigned>(V);
+    } else if (ModelPath.empty() && !Arg.empty() && Arg[0] != '-') {
+      ModelPath = Arg;
+    } else {
+      std::cerr << "fgbs_query: unknown argument '" << Arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  if (CompareMode)
+    return compareStreams(ComparePathA, ComparePathB, Tolerance);
+  if (ModelPath.empty()) {
+    std::cerr << "fgbs_query: a MODEL path is required\n";
+    return usage(std::cerr, 2);
+  }
+
+  obs::Session Run("fgbs_query");
+
+  std::uint64_t LoadStart = obs::nowNs();
+  service::SnapshotLoadResult Loaded = service::loadSnapshotFile(ModelPath);
+  std::uint64_t LoadNs = obs::nowNs() - LoadStart;
+  if (!Loaded) {
+    std::cerr << "fgbs_query: cannot load '" << ModelPath << "': "
+              << service::snapshotErrorName(Loaded.Error) << " ("
+              << Loaded.Message << ")\n";
+    return 1;
+  }
+  FGBS_HISTOGRAM_RECORD_NS("service.snapshot.load", LoadNs);
+  Run.recordValue("snapshot_load_ms", static_cast<double>(LoadNs) / 1e6);
+
+  service::SelectionService Svc(std::move(*Loaded.Snapshot));
+  ThreadPool Pool(Threads);
+  service::QueryEngine Engine(Svc, &Pool);
+
+  std::ifstream ScriptFile;
+  if (!ScriptPath.empty()) {
+    ScriptFile.open(ScriptPath);
+    if (!ScriptFile) {
+      std::cerr << "fgbs_query: cannot read '" << ScriptPath << "'\n";
+      return 2;
+    }
+  }
+  std::istream &In = ScriptPath.empty() ? std::cin : ScriptFile;
+
+  std::ofstream OutFile;
+  if (!OutPath.empty()) {
+    OutFile.open(OutPath, std::ios::trunc);
+    if (!OutFile) {
+      std::cerr << "fgbs_query: cannot write '" << OutPath << "'\n";
+      return 2;
+    }
+  }
+  std::ostream &Out = OutPath.empty() ? std::cout : OutFile;
+
+  std::size_t Requests = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Out << Engine.handleLine(Line) << "\n";
+    Out.flush(); // One response per request line, even through pipes.
+    ++Requests;
+  }
+  Run.recordValue("requests", static_cast<double>(Requests));
+  return 0;
+}

@@ -1,0 +1,139 @@
+//===- tools/fgbs_train.cpp - Train and persist a model snapshot ----------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// The offline half of the service: run the full subsetting pipeline
+// (profile, cluster, select representatives, measure them on every
+// target) over a suite and persist the result as an fgbs.model.v1
+// snapshot that tools/fgbs_query serves online.
+//
+//   fgbs_train --suite nr|nas|synthetic --out model.fgbs [--k N]
+//
+// Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON like every
+// other FGBS surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/obs/RunReport.h"
+#include "fgbs/obs/Trace.h"
+#include "fgbs/service/Snapshot.h"
+#include "fgbs/suites/Suites.h"
+#include "fgbs/suites/Synthetic.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+using namespace fgbs;
+
+namespace {
+
+constexpr const char *kVersion = "fgbs_train (fgbs.model.v1 writer) 1.0";
+
+int usage(std::ostream &OS, int Exit) {
+  OS << "usage: fgbs_train --suite nr|nas|synthetic --out PATH [--k N]\n"
+        "\n"
+        "Runs the benchmark-subsetting pipeline over the chosen suite on\n"
+        "the reference machine and writes an fgbs.model.v1 snapshot that\n"
+        "fgbs_query can serve without re-running the pipeline.\n"
+        "\n"
+        "  --suite NAME   nr (Numerical Recipes), nas (NAS SER), or\n"
+        "                 synthetic (the deterministic synthetic corpus)\n"
+        "  --out PATH     snapshot file to write (required)\n"
+        "  --k N          force N clusters (default: Elbow-selected)\n"
+        "  --help         print this help and exit\n"
+        "  --version      print the tool version and exit\n";
+  return Exit;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SuiteName = "nr";
+  std::string OutPath;
+  unsigned K = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h")
+      return usage(std::cout, 0);
+    if (Arg == "--version") {
+      std::cout << kVersion << "\n";
+      return 0;
+    }
+    if (Arg == "--suite" && I + 1 < argc) {
+      SuiteName = argv[++I];
+    } else if (Arg == "--out" && I + 1 < argc) {
+      OutPath = argv[++I];
+    } else if (Arg == "--k" && I + 1 < argc) {
+      char *End = nullptr;
+      long V = std::strtol(argv[++I], &End, 10);
+      if (End == argv[I] || *End != '\0' || V <= 0) {
+        std::cerr << "fgbs_train: --k needs a positive integer\n";
+        return usage(std::cerr, 2);
+      }
+      K = static_cast<unsigned>(V);
+    } else {
+      std::cerr << "fgbs_train: unknown argument '" << Arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (OutPath.empty()) {
+    std::cerr << "fgbs_train: --out is required\n";
+    return usage(std::cerr, 2);
+  }
+
+  Suite S;
+  if (SuiteName == "nr") {
+    S = makeNumericalRecipes();
+  } else if (SuiteName == "nas") {
+    S = makeNasSer();
+  } else if (SuiteName == "synthetic") {
+    S = makeSyntheticSuite({});
+  } else {
+    std::cerr << "fgbs_train: unknown suite '" << SuiteName << "'\n";
+    return usage(std::cerr, 2);
+  }
+
+  obs::Session Run("fgbs_train");
+
+  std::uint64_t ProfileStart = obs::nowNs();
+  MeasurementDatabase Db(S, makeNehalem(), paperTargets());
+  Run.recordValue("profile_ms",
+                  static_cast<double>(obs::nowNs() - ProfileStart) / 1e6);
+
+  PipelineConfig Config;
+  Config.K = K;
+  std::uint64_t PipelineStart = obs::nowNs();
+  PipelineResult R = Pipeline(Db, Config).run();
+  Run.recordValue("pipeline_ms",
+                  static_cast<double>(obs::nowNs() - PipelineStart) / 1e6);
+
+  if (R.Selection.FinalK == 0) {
+    std::cerr << "fgbs_train: suite '" << SuiteName
+              << "' yields no representatives (every codelet is "
+                 "ill-behaved); nothing to serve\n";
+    return 1;
+  }
+
+  service::ModelSnapshot Snapshot = service::buildSnapshot(Db, R);
+  if (!service::saveSnapshotFile(OutPath, Snapshot)) {
+    std::cerr << "fgbs_train: cannot write '" << OutPath << "'\n";
+    return 1;
+  }
+  std::string Bytes = service::serializeSnapshot(Snapshot);
+
+  Run.recordValue("snapshot_bytes", static_cast<double>(Bytes.size()));
+  Run.recordValue("clusters", static_cast<double>(Snapshot.numClusters()));
+  Run.recordValue("codelets", static_cast<double>(Snapshot.numCodelets()));
+  Run.recordValue("targets", static_cast<double>(Snapshot.numTargets()));
+  Run.recordValue("elbow_k", static_cast<double>(R.ElbowK));
+
+  std::cout << "trained '" << Snapshot.SuiteName << "' on "
+            << Snapshot.ReferenceName << ": " << Snapshot.numClusters()
+            << " clusters over " << Snapshot.numCodelets() << " codelets, "
+            << Snapshot.numTargets() << " targets, " << Bytes.size()
+            << " bytes -> " << OutPath << "\n";
+  return 0;
+}

@@ -16,7 +16,9 @@
 
 #include "fgbs/obs/Gate.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,17 +28,29 @@ using namespace fgbs;
 
 namespace {
 
-int usage(const char *Argv0) {
-  std::cerr << "usage: " << Argv0
-            << " <baseline.json> <results.json> [--warn-at RATIO]"
-               " [--fail-at RATIO]\n";
-  return 2;
+constexpr const char *kVersion = "perf_gate (fgbs.run.v1 gate) 1.0";
+
+int usage(std::ostream &OS, int Exit) {
+  OS << "usage: perf_gate <baseline.json> <results.json>"
+        " [--warn-at RATIO] [--fail-at RATIO]\n"
+        "\n"
+        "Compares a fresh benchmark run against the checked-in baseline\n"
+        "and exits non-zero when any benchmark regressed past the fail\n"
+        "threshold.  Both files are JSON with a \"benchmarks\" member\n"
+        "(fgbs.run.v1 reports qualify).\n"
+        "\n"
+        "  --warn-at RATIO   report (but pass) above this ratio (default 1.5)\n"
+        "  --fail-at RATIO   fail above this ratio (default 3.0)\n"
+        "  --help            print this help and exit\n"
+        "  --version         print the tool version and exit\n";
+  return Exit;
 }
 
 std::optional<obs::JsonValue> readJsonFile(const std::string &Path) {
   std::ifstream IS(Path);
   if (!IS) {
-    std::cerr << "perf_gate: cannot read '" << Path << "'\n";
+    std::cerr << "perf_gate: cannot read '" << Path
+              << "': " << std::strerror(errno) << "\n";
     return std::nullopt;
   }
   std::ostringstream Buffer;
@@ -57,22 +71,37 @@ int main(int argc, char **argv) {
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h")
+      return usage(std::cout, 0);
+    if (Arg == "--version") {
+      std::cout << kVersion << "\n";
+      return 0;
+    }
     if ((Arg == "--warn-at" || Arg == "--fail-at") && I + 1 < argc) {
       char *End = nullptr;
       double Ratio = std::strtod(argv[++I], &End);
-      if (End == argv[I] || *End != '\0' || Ratio <= 0.0)
-        return usage(argv[0]);
+      if (End == argv[I] || *End != '\0' || Ratio <= 0.0) {
+        std::cerr << "perf_gate: " << Arg << " needs a positive ratio\n";
+        return usage(std::cerr, 2);
+      }
       (Arg == "--warn-at" ? WarnAt : FailAt) = Ratio;
     } else if (BaselinePath.empty()) {
       BaselinePath = Arg;
     } else if (ResultsPath.empty()) {
       ResultsPath = Arg;
     } else {
-      return usage(argv[0]);
+      std::cerr << "perf_gate: unexpected argument '" << Arg << "'\n";
+      return usage(std::cerr, 2);
     }
   }
-  if (BaselinePath.empty() || ResultsPath.empty() || FailAt < WarnAt)
-    return usage(argv[0]);
+  if (BaselinePath.empty() || ResultsPath.empty()) {
+    std::cerr << "perf_gate: a baseline and a results path are required\n";
+    return usage(std::cerr, 2);
+  }
+  if (FailAt < WarnAt) {
+    std::cerr << "perf_gate: --fail-at must be >= --warn-at\n";
+    return usage(std::cerr, 2);
+  }
 
   std::optional<obs::JsonValue> Baseline = readJsonFile(BaselinePath);
   std::optional<obs::JsonValue> Results = readJsonFile(ResultsPath);
