@@ -13,12 +13,14 @@
 #ifndef FGBS_BENCH_COMMON_H
 #define FGBS_BENCH_COMMON_H
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/core/Pipeline.h"
 #include "fgbs/obs/RunReport.h"
 #include "fgbs/suites/Suites.h"
 #include "fgbs/support/Statistics.h"
 #include "fgbs/support/TextTable.h"
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -28,13 +30,23 @@ namespace bench {
 
 /// A suite together with its measurement database (the suite must outlive
 /// the database, hence the bundle).
+///
+/// The database build honors the shared environment knobs: FGBS_THREADS
+/// picks the measurement fan-out (0/unset = auto) and FGBS_MEAS_CACHE
+/// names a directory of fgbs.meas.v1 files — when set, a warm run loads
+/// the finished database instead of re-simulating (see
+/// core/MeasurementCache.h).  Either way the numbers are bit-identical
+/// to a serial, uncached build.
 struct Study {
   Suite TheSuite;
   std::unique_ptr<MeasurementDatabase> Db;
 
   explicit Study(Suite S) : TheSuite(std::move(S)) {
-    Db = std::make_unique<MeasurementDatabase>(TheSuite, makeNehalem(),
-                                               paperTargets());
+    DatabaseBuildOptions Options;
+    if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+      Options.CacheDir = Dir;
+    Db = buildMeasurementDatabase(TheSuite, makeNehalem(), paperTargets(),
+                                  Options);
   }
 };
 

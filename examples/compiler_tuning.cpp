@@ -13,11 +13,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/core/Pipeline.h"
 #include "fgbs/suites/Suites.h"
 #include "fgbs/support/Statistics.h"
 #include "fgbs/support/TextTable.h"
 
+#include <cstdlib>
 #include <iostream>
 
 using namespace fgbs;
@@ -56,7 +58,12 @@ double fullSuiteSeconds(const MeasurementDatabase &Db,
 int main() {
   Suite NR = makeNumericalRecipes();
   Machine M = makeNehalem();
-  MeasurementDatabase Db(NR, M, paperTargets());
+  DatabaseBuildOptions Build;
+  if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+    Build.CacheDir = Dir;
+  std::unique_ptr<MeasurementDatabase> DbPtr =
+      buildMeasurementDatabase(NR, M, paperTargets(), Build);
+  MeasurementDatabase &Db = *DbPtr;
   PipelineResult R = Pipeline(Db, PipelineConfig()).run();
 
   std::cout << "Tuning compiler flags on " << M.Name << " over '" << NR.Name

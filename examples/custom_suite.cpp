@@ -12,10 +12,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/core/Pipeline.h"
 #include "fgbs/dsl/Builder.h"
 #include "fgbs/support/TextTable.h"
 
+#include <cstdlib>
 #include <iostream>
 
 using namespace fgbs;
@@ -101,8 +103,14 @@ static Machine makeCandidate() {
 
 int main() {
   Suite S = makeImagingSuite();
-  MeasurementDatabase Db(S, makeNehalem(), {makeCandidate(),
-                                            makeSandyBridge()});
+  // The cache key covers the candidate machine's full description, so a
+  // tweaked hypothetical machine never serves stale numbers.
+  DatabaseBuildOptions Build;
+  if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+    Build.CacheDir = Dir;
+  std::unique_ptr<MeasurementDatabase> DbPtr = buildMeasurementDatabase(
+      S, makeNehalem(), {makeCandidate(), makeSandyBridge()}, Build);
+  MeasurementDatabase &Db = *DbPtr;
 
   PipelineConfig Cfg;
   Cfg.K = 3; // Small suite: ask for three representatives directly.

@@ -12,9 +12,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/core/Serialization.h"
 #include "fgbs/suites/Suites.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -25,7 +27,12 @@ int main(int Argc, char **Argv) {
   std::string Dir = Argc >= 2 ? std::string(Argv[1]) + "/" : "";
 
   Suite Nas = makeNasSer();
-  MeasurementDatabase Db(Nas, makeNehalem(), paperTargets());
+  DatabaseBuildOptions Build;
+  if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+    Build.CacheDir = Dir;
+  std::unique_ptr<MeasurementDatabase> DbPtr =
+      buildMeasurementDatabase(Nas, makeNehalem(), paperTargets(), Build);
+  MeasurementDatabase &Db = *DbPtr;
   Pipeline P(Db, PipelineConfig());
   PipelineResult R = P.run();
 

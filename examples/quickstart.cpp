@@ -10,11 +10,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/core/Pipeline.h"
 #include "fgbs/obs/RunReport.h"
 #include "fgbs/suites/Suites.h"
 #include "fgbs/support/TextTable.h"
 
+#include <cstdlib>
 #include <iostream>
 
 using namespace fgbs;
@@ -25,9 +27,16 @@ int main() {
   // FGBS_TRACE_JSON=path writes a Chrome trace of the pipeline phases.
   obs::Session Telemetry("quickstart");
 
-  // The suite to reduce and the machines of paper Table 1.
+  // The suite to reduce and the machines of paper Table 1.  Measurement
+  // honours FGBS_THREADS (parallel fan-out) and FGBS_MEAS_CACHE (warm
+  // runs load the finished database instead of re-simulating).
   Suite NR = makeNumericalRecipes();
-  MeasurementDatabase Db(NR, makeNehalem(), paperTargets());
+  DatabaseBuildOptions Build;
+  if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+    Build.CacheDir = Dir;
+  std::unique_ptr<MeasurementDatabase> DbPtr =
+      buildMeasurementDatabase(NR, makeNehalem(), paperTargets(), Build);
+  MeasurementDatabase &Db = *DbPtr;
 
   // Steps C-E with the paper's defaults: Table 2 features, Ward
   // clustering, Elbow-selected cluster count, medoid representatives.

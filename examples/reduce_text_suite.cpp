@@ -13,10 +13,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/core/Pipeline.h"
 #include "fgbs/dsl/Text.h"
 #include "fgbs/support/TextTable.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -43,7 +45,12 @@ int main(int Argc, char **Argv) {
             << S.Applications.size() << " applications, " << S.numCodelets()
             << " codelets\n\n";
 
-  MeasurementDatabase Db(S, makeNehalem(), paperTargets());
+  DatabaseBuildOptions Build;
+  if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+    Build.CacheDir = Dir;
+  std::unique_ptr<MeasurementDatabase> DbPtr =
+      buildMeasurementDatabase(S, makeNehalem(), paperTargets(), Build);
+  MeasurementDatabase &Db = *DbPtr;
   PipelineResult R = Pipeline(Db, PipelineConfig()).run();
 
   std::cout << "reduced to " << R.Selection.Representatives.size()

@@ -11,18 +11,25 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/core/Pipeline.h"
 #include "fgbs/suites/Suites.h"
 #include "fgbs/support/Statistics.h"
 #include "fgbs/support/TextTable.h"
 
+#include <cstdlib>
 #include <iostream>
 
 using namespace fgbs;
 
 int main() {
   Suite Nas = makeNasSer();
-  MeasurementDatabase Db(Nas, makeNehalem(), paperTargets());
+  DatabaseBuildOptions Build;
+  if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+    Build.CacheDir = Dir;
+  std::unique_ptr<MeasurementDatabase> DbPtr =
+      buildMeasurementDatabase(Nas, makeNehalem(), paperTargets(), Build);
+  MeasurementDatabase &Db = *DbPtr;
   Pipeline P(Db, PipelineConfig());
   PipelineResult R = P.run();
 

@@ -153,11 +153,18 @@ const std::vector<std::string> fgbs::kTable2FeatureNames = {
 };
 
 std::vector<double> fgbs::computeFeatures(const Codelet &C, const Machine &Ref,
-                                          const Measurement &M) {
+                                          const Measurement &M,
+                                          CompileCache *Compile) {
   std::vector<double> F;
   F.reserve(NumFeatures);
 
-  BinaryLoop Loop = compile(C, Ref, CompilationContext::InApplication);
+  BinaryLoop Fresh;
+  if (!Compile)
+    Fresh = compile(C, Ref, CompilationContext::InApplication);
+  const BinaryLoop &Loop =
+      Compile ? Compile->get(C, Ref, CompilationContext::InApplication,
+                             CompilerOptions())
+              : Fresh;
   ComputeBreakdown B = computeBound(Loop, Ref);
 
   // Counts over the loop body.

@@ -70,8 +70,11 @@ extern const std::vector<std::string> kTable2FeatureNames;
 
 /// Computes the full 76-entry feature vector for codelet \p C profiled on
 /// the reference machine \p Ref with in-application measurement \p M.
+/// The static features re-analyze the compiled loop; \p Compile, when
+/// given, reuses the memoized lowering (results are unchanged).
 std::vector<double> computeFeatures(const Codelet &C, const Machine &Ref,
-                                    const Measurement &M);
+                                    const Measurement &M,
+                                    CompileCache *Compile = nullptr);
 
 /// A selection of features, as a bitmask over the catalog.
 using FeatureMask = std::vector<bool>;

@@ -6,7 +6,8 @@
 
 using namespace fgbs;
 
-Measurement fgbs::measureInApp(const Codelet &C, const Machine &M) {
+Measurement fgbs::measureInApp(const Codelet &C, const Machine &M,
+                               CompileCache *Compile) {
   assert(!C.Invocations.empty() && "codelet without invocations");
   Measurement Avg;
   double TotalWeight = 0.0;
@@ -16,6 +17,7 @@ Measurement fgbs::measureInApp(const Codelet &C, const Machine &M) {
     R.DatasetScale = G.DatasetScale;
     R.Context = CompilationContext::InApplication;
     R.WarmCacheReplay = false;
+    R.Compile = Compile;
     Measurement One = execute(C, M, R);
     double W = static_cast<double>(G.Count);
     TotalWeight += W;
@@ -58,18 +60,22 @@ Measurement fgbs::measureInApp(const Codelet &C, const Machine &M) {
   return Avg;
 }
 
+CodeletProfile fgbs::profileCodelet(const Codelet &C, const Machine &Ref,
+                                    CompileCache *Compile) {
+  CodeletProfile P;
+  P.C = &C;
+  P.InApp = measureInApp(C, Ref, Compile);
+  P.Features = computeFeatures(C, Ref, P.InApp, Compile);
+  // "We discard codelets with execution time under one million cycles
+  // because they are too short to be accurately measured."
+  P.Discarded = P.InApp.Counters.Cycles < 1e6;
+  return P;
+}
+
 std::vector<CodeletProfile> fgbs::profileSuite(const Suite &S,
                                                const Machine &Ref) {
   std::vector<CodeletProfile> Profiles;
-  for (const Codelet *C : S.allCodelets()) {
-    CodeletProfile P;
-    P.C = C;
-    P.InApp = measureInApp(*C, Ref);
-    P.Features = computeFeatures(*C, Ref, P.InApp);
-    // "We discard codelets with execution time under one million cycles
-    // because they are too short to be accurately measured."
-    P.Discarded = P.InApp.Counters.Cycles < 1e6;
-    Profiles.push_back(std::move(P));
-  }
+  for (const Codelet *C : S.allCodelets())
+    Profiles.push_back(profileCodelet(*C, Ref));
   return Profiles;
 }

@@ -36,8 +36,16 @@ struct CodeletProfile {
 /// Measures \p C on \p M inside its application: per-invocation times
 /// and counters are averaged over the invocation groups, weighted by
 /// invocation count (this is what Likwid probes around the in-app
-/// hotspot observe).
-Measurement measureInApp(const Codelet &C, const Machine &M);
+/// hotspot observe).  \p Compile, when given, memoizes the lowering
+/// shared by every invocation group (results are unchanged either way).
+Measurement measureInApp(const Codelet &C, const Machine &M,
+                         CompileCache *Compile = nullptr);
+
+/// Profiles one codelet on the reference machine \p Ref (step B for a
+/// single codelet; the parallel database fan-out calls this per work
+/// item).
+CodeletProfile profileCodelet(const Codelet &C, const Machine &Ref,
+                              CompileCache *Compile = nullptr);
 
 /// Profiles every codelet of \p S on the reference machine \p Ref.
 std::vector<CodeletProfile> profileSuite(const Suite &S, const Machine &Ref);

@@ -1,0 +1,55 @@
+//===- fgbs/compiler/CompileCache.cpp - Compile memoization ---------------===//
+
+#include "fgbs/compiler/CompileCache.h"
+
+#include "fgbs/obs/Metrics.h"
+#include "fgbs/support/Rng.h"
+
+using namespace fgbs;
+
+namespace {
+
+std::uint64_t keyFor(const Codelet &C, const Machine &M,
+                     CompilationContext Context,
+                     const CompilerOptions &Options) {
+  std::uint64_t Key = hashString(C.Name.c_str());
+  Key = hashCombine(Key, hashString(C.App.c_str()));
+  Key = hashCombine(Key, hashString(M.Name.c_str()));
+  Key = hashCombine(Key, static_cast<std::uint64_t>(Context));
+  Key = hashCombine(Key, (static_cast<std::uint64_t>(Options.Vectorize) << 32) |
+                             (static_cast<std::uint64_t>(Options.ReassociateFp)
+                              << 16) |
+                             Options.UnrollFactor);
+  return Key;
+}
+
+} // namespace
+
+const BinaryLoop &CompileCache::get(const Codelet &C, const Machine &M,
+                                    CompilationContext Context,
+                                    const CompilerOptions &Options) {
+  std::uint64_t Key = keyFor(C, M, Context, Options);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Loops.find(Key);
+    if (It != Loops.end()) {
+      FGBS_COUNTER_ADD("sim.compile.hits", 1);
+      return *It->second;
+    }
+  }
+  // Lower outside the lock: concurrent misses on the same key compile
+  // twice, but the lowering is deterministic and the first insert wins.
+  auto Loop = std::make_unique<BinaryLoop>(compile(C, M, Context, Options));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Loops.try_emplace(Key, std::move(Loop));
+  if (Inserted)
+    FGBS_COUNTER_ADD("sim.compile.misses", 1);
+  else
+    FGBS_COUNTER_ADD("sim.compile.hits", 1);
+  return *It->second;
+}
+
+std::size_t CompileCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Loops.size();
+}

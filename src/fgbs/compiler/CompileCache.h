@@ -1,0 +1,68 @@
+//===- fgbs/compiler/CompileCache.h - Compile memoization ------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A memoizing front-end for compile(): each distinct (codelet, machine,
+/// compilation context, optimizer options) combination is lowered once
+/// and the BinaryLoop reused.
+///
+/// Database construction is the motivating consumer: one codelet is
+/// executed many times per machine — once per invocation group of the
+/// in-application profile, once per ground-truth target measurement,
+/// once standalone — and every execute() used to re-run the full
+/// lowering.  A shared cache compiles each codelet once per (machine,
+/// context, options) instead.
+///
+/// Thread safety: get() may be called concurrently (the parallel
+/// measurement fan-out does).  Lowering is deterministic, so a racing
+/// miss may compile the same loop twice, but the first insertion wins
+/// and every caller observes identical bytes.  Returned references stay
+/// valid for the cache's lifetime.
+///
+/// Keying is by codelet name and application (unique within a suite),
+/// not by body content: a cache is meant to live no longer than the
+/// suite whose measurements it serves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_COMPILER_COMPILECACHE_H
+#define FGBS_COMPILER_COMPILECACHE_H
+
+#include "fgbs/compiler/Compiler.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace fgbs {
+
+/// Memoizes compile() results.  Observable via the sim.compile.hits /
+/// sim.compile.misses counters when telemetry is enabled.
+class CompileCache {
+public:
+  CompileCache() = default;
+  CompileCache(const CompileCache &) = delete;
+  CompileCache &operator=(const CompileCache &) = delete;
+
+  /// Returns the compiled form of \p C on \p M in \p Context under
+  /// \p Options, lowering at most once per distinct key.
+  const BinaryLoop &get(const Codelet &C, const Machine &M,
+                        CompilationContext Context,
+                        const CompilerOptions &Options);
+
+  /// Distinct loops compiled so far.
+  std::size_t size() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<std::uint64_t, std::unique_ptr<BinaryLoop>> Loops;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_COMPILER_COMPILECACHE_H

@@ -2,7 +2,9 @@
 
 #include "fgbs/core/Database.h"
 
+#include "fgbs/compiler/CompileCache.h"
 #include "fgbs/obs/Trace.h"
+#include "fgbs/support/ThreadPool.h"
 
 #include <cassert>
 #include <utility>
@@ -11,39 +13,80 @@ using namespace fgbs;
 
 MeasurementDatabase::MeasurementDatabase(const Suite &S, Machine Ref,
                                          std::vector<Machine> Tgts,
-                                         const TimingPolicy &Policy)
+                                         const TimingPolicy &Policy,
+                                         const DatabaseOptions &Options)
     : TheSuite(&S), Reference(std::move(Ref)), Targets(std::move(Tgts)) {
   // Steps A-B: capture + profile on the reference machine, then the
-  // ground-truth and standalone measurements on every target.
+  // ground-truth and standalone measurements on every target.  The work
+  // is enumerated as independent (codelet, machine, kind) items, each
+  // writing its own pre-sized slot, and fanned out over the pool: the
+  // result is bit-identical for any thread count, and a pool of one
+  // reproduces the historical serial sweep exactly.
   FGBS_TRACE_SPAN("pipeline.measure");
-  {
-    FGBS_TRACE_SPAN("pipeline.measure.profile_reference");
-    Profiles = profileSuite(S, Reference);
-  }
 
   std::vector<const Codelet *> Codelets = S.allCodelets();
-  assert(Codelets.size() == Profiles.size() && "profile count mismatch");
-  FGBS_COUNTER_ADD("db.codelets_profiled", Codelets.size());
+  const std::size_t N = Codelets.size();
+  const std::size_t T = Targets.size();
 
-  {
-    FGBS_TRACE_SPAN("pipeline.measure.standalone_reference");
-    StandaloneOnRef.reserve(Codelets.size());
-    for (const Codelet *C : Codelets)
-      StandaloneOnRef.push_back(measureStandalone(*C, Reference, Policy));
-  }
+  Profiles.resize(N);
+  StandaloneOnRef.resize(N);
+  RealTarget.assign(T, std::vector<Measurement>(N));
+  StandaloneOnTarget.assign(T, std::vector<StandaloneMeasurement>(N));
 
-  FGBS_TRACE_SPAN("pipeline.measure.targets");
-  RealTarget.resize(Targets.size());
-  StandaloneOnTarget.resize(Targets.size());
-  for (std::size_t T = 0; T < Targets.size(); ++T) {
-    RealTarget[T].reserve(Codelets.size());
-    StandaloneOnTarget[T].reserve(Codelets.size());
-    for (const Codelet *C : Codelets) {
-      RealTarget[T].push_back(measureInApp(*C, Targets[T]));
-      StandaloneOnTarget[T].push_back(
-          measureStandalone(*C, Targets[T], Policy));
+  // One compile memo for the whole sweep: each codelet is lowered once
+  // per (machine, context) instead of once per execute() call — the
+  // in-application profile, every invocation group, the ground-truth
+  // target runs, and the static feature analysis all share it.
+  CompileCache Compile;
+
+  unsigned Threads =
+      Options.Threads > 0 ? Options.Threads : ThreadPool::defaultThreadCount();
+  FGBS_GAUGE_SET("db.threads", Threads);
+  ThreadPool Pool(Threads);
+
+  // Work-item index space, kind-major:
+  //   [0, N)        profile codelet I on the reference (step B),
+  //   [N, 2N)       standalone codelet I on the reference,
+  //   [2N + 2*t*N + 0..N)   in-app ground truth of codelet I on target t,
+  //   [2N + (2t+1)*N ..)    standalone codelet I on target t.
+  Pool.parallelFor(0, N * (2 + 2 * T), [&](std::size_t Item) {
+    const std::size_t I = Item % N;
+    const Codelet &C = *Codelets[I];
+    if (Item < N) {
+      Profiles[I] = profileCodelet(C, Reference, &Compile);
+    } else if (Item < 2 * N) {
+      StandaloneOnRef[I] = measureStandalone(C, Reference, Policy, &Compile);
+    } else {
+      const std::size_t Tgt = (Item - 2 * N) / (2 * N);
+      const bool InApp = ((Item - 2 * N) / N) % 2 == 0;
+      if (InApp)
+        RealTarget[Tgt][I] = measureInApp(C, Targets[Tgt], &Compile);
+      else
+        StandaloneOnTarget[Tgt][I] =
+            measureStandalone(C, Targets[Tgt], Policy, &Compile);
     }
-  }
+  });
+
+  FGBS_COUNTER_ADD("db.codelets_profiled", N);
+  assert(Codelets.size() == Profiles.size() && "profile count mismatch");
+}
+
+MeasurementDatabase::MeasurementDatabase(
+    const Suite &S, Machine Ref, std::vector<Machine> Tgts,
+    std::vector<CodeletProfile> Profs,
+    std::vector<std::vector<Measurement>> Real,
+    std::vector<StandaloneMeasurement> StandaloneRef,
+    std::vector<std::vector<StandaloneMeasurement>> StandaloneTgt)
+    : TheSuite(&S), Reference(std::move(Ref)), Targets(std::move(Tgts)),
+      Profiles(std::move(Profs)), RealTarget(std::move(Real)),
+      StandaloneOnRef(std::move(StandaloneRef)),
+      StandaloneOnTarget(std::move(StandaloneTgt)) {
+  assert(Profiles.size() == S.numCodelets() && "profile count mismatch");
+  assert(StandaloneOnRef.size() == Profiles.size() &&
+         "standalone count mismatch");
+  assert(RealTarget.size() == Targets.size() && "target grid mismatch");
+  assert(StandaloneOnTarget.size() == Targets.size() &&
+         "target grid mismatch");
 }
 
 std::vector<std::size_t> MeasurementDatabase::keptCodelets() const {

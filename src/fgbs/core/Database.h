@@ -26,14 +26,40 @@
 
 namespace fgbs {
 
+/// How a MeasurementDatabase runs its simulator sweep.
+struct DatabaseOptions {
+  /// Threads measuring work items.  0 = auto (the FGBS_THREADS
+  /// environment variable, else hardware_concurrency()); 1 = strictly
+  /// serial.  Any thread count yields bit-identical databases: every
+  /// work item writes its own result slot and the measurements are
+  /// deterministic (the ThreadPool contract).
+  unsigned Threads = 0;
+};
+
 /// Eagerly computed measurement store for one suite.
 class MeasurementDatabase {
 public:
   /// Profiles \p S on \p Reference and measures it on every machine in
-  /// \p Targets.  \p S must outlive the database.
+  /// \p Targets.  \p S must outlive the database.  The simulator sweep
+  /// fans out one work item per (codelet, machine, measurement kind)
+  /// over \p Options.Threads threads, sharing one compile memo.
   MeasurementDatabase(const Suite &S, Machine Reference,
                       std::vector<Machine> Targets,
-                      const TimingPolicy &Policy = {});
+                      const TimingPolicy &Policy = {},
+                      const DatabaseOptions &Options = {});
+
+  /// Reassembles a database from previously computed measurements (the
+  /// fgbs.meas.v1 cache loader).  The vectors must be mutually
+  /// consistent: one profile/standalone per codelet of \p S, one
+  /// [target][codelet] grid per machine in \p Targets, and every
+  /// CodeletProfile::C pointing into \p S.
+  MeasurementDatabase(const Suite &S, Machine Reference,
+                      std::vector<Machine> Targets,
+                      std::vector<CodeletProfile> Profiles,
+                      std::vector<std::vector<Measurement>> RealTarget,
+                      std::vector<StandaloneMeasurement> StandaloneOnRef,
+                      std::vector<std::vector<StandaloneMeasurement>>
+                          StandaloneOnTarget);
 
   const Suite &suite() const { return *TheSuite; }
   const Machine &reference() const { return Reference; }

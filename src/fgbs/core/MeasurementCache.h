@@ -1,0 +1,155 @@
+//===- fgbs/core/MeasurementCache.h - fgbs.meas.v1 cache -------*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content-addressed, versioned on-disk persistence of a finished
+/// MeasurementDatabase (fgbs.meas.v1).
+///
+/// The paper's economics rest on paying the measurement cost once:
+/// steps A-B simulate every codelet on the reference and every target,
+/// and nothing downstream (clustering sweeps, GA feature selection,
+/// model training, the fig/table benches) changes those numbers.  The
+/// cache persists the finished database keyed by a content hash of its
+/// inputs — suite name + full codelet set + every machine configuration
+/// + the timing policy — so a warm run skips simulation entirely.
+///
+/// File layout (all integers little-endian; the header discipline of
+/// fgbs.model.v1 snapshots — see service/Snapshot.h):
+///
+///   [0..8)   magic "FGBSMEA1"
+///   [8..12)  u32 version major (this writer: 1)
+///   [12..16) u32 version minor (this writer: 0)
+///   [16..24) u64 payload size in bytes
+///   [24..28) u32 CRC-32 (IEEE) of the payload
+///   [28.. )  payload (see MeasurementCache.cpp for the field order)
+///
+/// Loading is strict and typed like snapshot loading — truncation,
+/// version skew, CRC mismatch, dimension damage and non-finite numbers
+/// all produce MeasurementCacheError values, never undefined behaviour.
+/// A stored key that does not match the key derived from the live
+/// inputs (e.g. a machine configuration changed since the file was
+/// written) is KeyMismatch; buildMeasurementDatabase() treats every
+/// load failure as a miss and falls back to re-simulation with a
+/// warning, so a stale or damaged cache can never corrupt results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_MEASUREMENTCACHE_H
+#define FGBS_CORE_MEASUREMENTCACHE_H
+
+#include "fgbs/core/Database.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace fgbs {
+
+/// Leading bytes of every measurement-cache file.
+inline constexpr char kMeasurementMagic[8] = {'F', 'G', 'B', 'S',
+                                              'M', 'E', 'A', '1'};
+/// Format version this build writes.
+inline constexpr std::uint32_t kMeasurementVersionMajor = 1;
+inline constexpr std::uint32_t kMeasurementVersionMinor = 0;
+/// Fixed header size preceding the payload.
+inline constexpr std::size_t kMeasurementHeaderBytes = 28;
+
+/// Content hash of everything the simulator sweep depends on: suite
+/// name, every codelet (arrays, loop nest, body statement trees,
+/// invocation schedule, behaviour traits), every field of the reference
+/// and target machine descriptions, and the timing policy.  Any change
+/// to any of them yields a different key and therefore a clean
+/// re-simulation.
+std::uint64_t measurementKey(const Suite &S, const Machine &Reference,
+                             const std::vector<Machine> &Targets,
+                             const TimingPolicy &Policy = {});
+
+/// The cache file name a key maps to ("fgbs-meas-<16 hex digits>.v1").
+std::string measurementCacheFileName(std::uint64_t Key);
+
+/// Why a measurement cache failed to load.
+enum class MeasurementCacheError {
+  None,               ///< Loaded fine.
+  Io,                 ///< Could not open/read the file.
+  Truncated,          ///< Fewer bytes than the header/payload announce.
+  BadMagic,           ///< Not a measurement-cache file.
+  UnsupportedVersion, ///< Major version this reader does not speak.
+  ChecksumMismatch,   ///< Payload bytes do not match the stored CRC-32.
+  KeyMismatch,        ///< Stored content key differs from the live inputs.
+  Malformed,          ///< Structural damage: dimension or range mismatch.
+  InvalidValue,       ///< Non-finite number where a finite one is required.
+};
+
+/// Stable identifier for an error (warnings and tests key on it).
+const char *measurementCacheErrorName(MeasurementCacheError E);
+
+/// Outcome of a load: either a reassembled database (bound to the live
+/// suite) or a typed error with a human-readable message.
+struct MeasurementLoadResult {
+  std::unique_ptr<MeasurementDatabase> Db;
+  MeasurementCacheError Error = MeasurementCacheError::None;
+  std::string Message;
+
+  explicit operator bool() const { return Db != nullptr; }
+};
+
+/// Serializes \p Db into the byte format described above, stamped with
+/// \p Key (the caller computes it via measurementKey over the same
+/// inputs that built \p Db).
+std::string serializeMeasurements(const MeasurementDatabase &Db,
+                                  std::uint64_t Key);
+
+/// Parses and validates measurement bytes, rebinding the codelet
+/// profiles onto \p S.  \p ExpectedKey must match the stored key and
+/// the stored codelet/machine names must match the live objects.
+/// \p Reference and \p Targets are the live machine descriptions the
+/// rebuilt database carries.
+MeasurementLoadResult parseMeasurements(std::string_view Bytes,
+                                        const Suite &S, Machine Reference,
+                                        std::vector<Machine> Targets,
+                                        std::uint64_t ExpectedKey);
+
+/// File wrappers around serialize/parse.
+bool saveMeasurementsFile(const std::string &Path,
+                          const MeasurementDatabase &Db, std::uint64_t Key);
+MeasurementLoadResult loadMeasurementsFile(const std::string &Path,
+                                           const Suite &S, Machine Reference,
+                                           std::vector<Machine> Targets,
+                                           std::uint64_t ExpectedKey);
+
+/// How buildMeasurementDatabase() runs: thread fan-out plus the on-disk
+/// cache location.
+struct DatabaseBuildOptions {
+  /// Measurement threads (DatabaseOptions semantics: 0 = auto).
+  unsigned Threads = 0;
+  /// Cache directory; empty disables the on-disk cache.  Created on
+  /// first store if missing.
+  std::string CacheDir;
+  /// Master cache switch (--no-cache): false never reads or writes the
+  /// cache even when CacheDir is set.
+  bool UseCache = true;
+  /// Timing policy forwarded to the standalone measurements (part of
+  /// the content key).
+  TimingPolicy Policy;
+};
+
+/// Builds the measurement database for (\p S, \p Reference, \p Targets),
+/// serving it from \p Options.CacheDir when a file with the matching
+/// content key exists there, and re-simulating (then storing) otherwise.
+/// Load failures warn on stderr and fall back to simulation; store
+/// failures warn and are otherwise ignored.  Counters (when telemetry
+/// is on): db.cache.hits / db.cache.misses / db.cache.stores /
+/// db.cache.errors.
+std::unique_ptr<MeasurementDatabase>
+buildMeasurementDatabase(const Suite &S, Machine Reference,
+                         std::vector<Machine> Targets,
+                         const DatabaseBuildOptions &Options = {});
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_MEASUREMENTCACHE_H

@@ -16,13 +16,15 @@ using namespace fgbs;
 
 StandaloneMeasurement fgbs::measureStandalone(const Codelet &C,
                                               const Machine &M,
-                                              const TimingPolicy &Policy) {
+                                              const TimingPolicy &Policy,
+                                              CompileCache *Compile) {
   // The wrapper replays the FIRST invocation's captured memory dump, and
   // the loop is compiled without its surrounding application code.
   ExecutionRequest R;
   R.DatasetScale = C.capturedDatasetScale();
   R.Context = CompilationContext::Standalone;
   R.WarmCacheReplay = true;
+  R.Compile = Compile;
   Measurement Base = execute(C, M, R);
 
   StandaloneMeasurement Out;

@@ -55,9 +55,11 @@ struct StandaloneMeasurement {
 
 /// Benchmarks the extracted form of \p C on \p M: replay the first
 /// invocation's dump, standalone compilation, reduced invocations,
-/// median-of-invocations timing.
+/// median-of-invocations timing.  \p Compile, when given, memoizes the
+/// standalone lowering (results are unchanged).
 StandaloneMeasurement measureStandalone(const Codelet &C, const Machine &M,
-                                        const TimingPolicy &Policy = {});
+                                        const TimingPolicy &Policy = {},
+                                        CompileCache *Compile = nullptr);
 
 /// The 10% in-app-vs-standalone agreement test of section 3.4.
 /// \p InAppSeconds is the per-invocation time profiled at step B.

@@ -24,9 +24,9 @@
 
 #include "fgbs/service/Snapshot.h"
 
+#include "fgbs/support/BinaryIo.h"
 #include "fgbs/support/Crc32.h"
 
-#include <bit>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -37,107 +37,11 @@
 
 using namespace fgbs;
 using namespace fgbs::service;
-
-//===----------------------------------------------------------------------===//
-// Little-endian primitive encoding
-//===----------------------------------------------------------------------===//
+using namespace fgbs::binio;
 
 namespace {
 
-void putU32(std::string &Out, std::uint32_t V) {
-  for (int Shift = 0; Shift < 32; Shift += 8)
-    Out.push_back(static_cast<char>((V >> Shift) & 0xffu));
-}
-
-void putU64(std::string &Out, std::uint64_t V) {
-  for (int Shift = 0; Shift < 64; Shift += 8)
-    Out.push_back(static_cast<char>((V >> Shift) & 0xffu));
-}
-
-void putF64(std::string &Out, double V) {
-  putU64(Out, std::bit_cast<std::uint64_t>(V));
-}
-
-void putStr(std::string &Out, const std::string &S) {
-  putU32(Out, static_cast<std::uint32_t>(S.size()));
-  Out.append(S);
-}
-
-/// Bounds-checked little-endian decoder over a byte range.  Every read
-/// either succeeds or sets Overrun and returns a zero value; callers
-/// check overrun() once per structural unit instead of per field.
-class Reader {
-public:
-  explicit Reader(std::string_view Bytes) : Bytes(Bytes) {}
-
-  bool overrun() const { return Overrun; }
-  bool atEnd() const { return Cursor == Bytes.size(); }
-  std::size_t remaining() const { return Bytes.size() - Cursor; }
-
-  std::uint8_t u8() {
-    if (!take(1))
-      return 0;
-    return static_cast<std::uint8_t>(Bytes[Cursor - 1]);
-  }
-
-  std::uint32_t u32() {
-    if (!take(4))
-      return 0;
-    std::uint32_t V = 0;
-    for (int B = 0; B < 4; ++B)
-      V |= static_cast<std::uint32_t>(
-               static_cast<unsigned char>(Bytes[Cursor - 4 + B]))
-           << (8 * B);
-    return V;
-  }
-
-  std::uint64_t u64() {
-    if (!take(8))
-      return 0;
-    std::uint64_t V = 0;
-    for (int B = 0; B < 8; ++B)
-      V |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(Bytes[Cursor - 8 + B]))
-           << (8 * B);
-    return V;
-  }
-
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  std::string str() {
-    std::uint32_t Len = u32();
-    if (!take(Len))
-      return {};
-    return std::string(Bytes.substr(Cursor - Len, Len));
-  }
-
-  /// Reads \p Count doubles.  The remaining-bytes guard rejects absurd
-  /// counts before anything is allocated.
-  std::vector<double> f64Vector(std::size_t Count) {
-    if (Count > remaining() / 8) {
-      Overrun = true;
-      return {};
-    }
-    std::vector<double> V(Count);
-    for (double &X : V)
-      X = f64();
-    return V;
-  }
-
-private:
-  bool take(std::size_t N) {
-    if (Overrun || N > remaining()) {
-      Overrun = true;
-      return false;
-    }
-    Cursor += N;
-    return true;
-  }
-
-  std::string_view Bytes;
-  std::size_t Cursor = 0;
-  bool Overrun = false;
-};
+using Reader = binio::ByteReader;
 
 SnapshotLoadResult failed(SnapshotError E, std::string Message) {
   SnapshotLoadResult R;

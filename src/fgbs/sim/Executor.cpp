@@ -2,11 +2,13 @@
 
 #include "fgbs/sim/Executor.h"
 
+#include "fgbs/obs/Metrics.h"
 #include "fgbs/support/Rng.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <unordered_map>
 
 using namespace fgbs;
@@ -141,8 +143,12 @@ fgbs::sampleMemoryBehaviorCached(const std::vector<MemoryStreamDesc> &Streams,
                                  std::uint64_t TotalIterations) {
   // The trace simulation is the expensive part of execute(); identical
   // (streams, machine, iteration-count) triples recur constantly across
-  // contexts and pipeline runs, so memoize on a structural hash.
-  // Single-threaded by design (like the rest of the executor).
+  // contexts and pipeline runs, so memoize on a structural hash.  The
+  // memo is shared across the parallel measurement fan-out: lookups and
+  // insertions lock, the sampling itself runs outside the lock (racing
+  // misses sample twice, deterministically identically; first insert
+  // wins).
+  static std::mutex MemoMutex;
   static std::unordered_map<std::uint64_t, std::vector<StreamBehavior>> Memo;
 
   std::uint64_t Key = hashString(M.Name.c_str());
@@ -154,12 +160,16 @@ fgbs::sampleMemoryBehaviorCached(const std::vector<MemoryStreamDesc> &Streams,
     Key = hashCombine(Key, (static_cast<std::uint64_t>(S.IsStore) << 8) |
                                S.ElemBytes);
   }
-  auto It = Memo.find(Key);
-  if (It != Memo.end())
-    return It->second;
+  {
+    std::lock_guard<std::mutex> Lock(MemoMutex);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+  }
   std::vector<StreamBehavior> Result =
       sampleMemoryBehavior(Streams, M, TotalIterations);
-  Memo.emplace(Key, Result);
+  std::lock_guard<std::mutex> Lock(MemoMutex);
+  Memo.try_emplace(Key, Result);
   return Result;
 }
 
@@ -185,9 +195,14 @@ static double warmReplayMissReduction(const Machine &M,
 Measurement fgbs::execute(const Codelet &C, const Machine &M,
                           const ExecutionRequest &R) {
   assert(R.DatasetScale > 0.0 && "dataset scale must be positive");
+  FGBS_COUNTER_ADD("sim.execute", 1);
   Measurement Result;
 
-  BinaryLoop Loop = compile(C, M, R.Context, R.Options);
+  BinaryLoop Fresh;
+  if (!R.Compile)
+    Fresh = compile(C, M, R.Context, R.Options);
+  const BinaryLoop &Loop =
+      R.Compile ? R.Compile->get(C, M, R.Context, R.Options) : Fresh;
   Result.Compute = computeBound(Loop, M);
 
   double Scale = R.DatasetScale;

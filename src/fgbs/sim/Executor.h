@@ -22,6 +22,7 @@
 #define FGBS_SIM_EXECUTOR_H
 
 #include "fgbs/arch/Machine.h"
+#include "fgbs/compiler/CompileCache.h"
 #include "fgbs/compiler/Compiler.h"
 #include "fgbs/dsl/Codelet.h"
 #include "fgbs/sim/Cache.h"
@@ -61,6 +62,10 @@ struct ExecutionRequest {
   bool WarmCacheReplay = false;
   /// Optimizer settings (defaults model -O3).
   CompilerOptions Options;
+  /// Optional compile memoization shared across executions (database
+  /// construction passes one); null compiles afresh per call.  Does not
+  /// affect results: the lowering is deterministic.
+  CompileCache *Compile = nullptr;
 };
 
 /// The result of executing one invocation.

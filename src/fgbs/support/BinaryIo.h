@@ -1,0 +1,129 @@
+//===- fgbs/support/BinaryIo.h - Little-endian binary encoding -*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian primitive encoding shared by every versioned binary
+/// format in the tree (fgbs.model.v1 snapshots, fgbs.meas.v1 measurement
+/// caches): appenders onto a std::string payload and a bounds-checked
+/// decoder over a byte view.
+///
+/// ByteReader follows the "check once per structural unit" discipline:
+/// every read either succeeds or sets the overrun flag and returns a
+/// zero value, so parsers validate with one overrun() call per block
+/// instead of one per field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SUPPORT_BINARYIO_H
+#define FGBS_SUPPORT_BINARYIO_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgbs {
+namespace binio {
+
+inline void putU32(std::string &Out, std::uint32_t V) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Out.push_back(static_cast<char>((V >> Shift) & 0xffu));
+}
+
+inline void putU64(std::string &Out, std::uint64_t V) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<char>((V >> Shift) & 0xffu));
+}
+
+inline void putF64(std::string &Out, double V) {
+  putU64(Out, std::bit_cast<std::uint64_t>(V));
+}
+
+inline void putStr(std::string &Out, const std::string &S) {
+  putU32(Out, static_cast<std::uint32_t>(S.size()));
+  Out.append(S);
+}
+
+/// Bounds-checked little-endian decoder over a byte range.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Bytes) : Bytes(Bytes) {}
+
+  bool overrun() const { return Overrun; }
+  bool atEnd() const { return Cursor == Bytes.size(); }
+  std::size_t remaining() const { return Bytes.size() - Cursor; }
+
+  std::uint8_t u8() {
+    if (!take(1))
+      return 0;
+    return static_cast<std::uint8_t>(Bytes[Cursor - 1]);
+  }
+
+  std::uint32_t u32() {
+    if (!take(4))
+      return 0;
+    std::uint32_t V = 0;
+    for (int B = 0; B < 4; ++B)
+      V |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(Bytes[Cursor - 4 + B]))
+           << (8 * B);
+    return V;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8))
+      return 0;
+    std::uint64_t V = 0;
+    for (int B = 0; B < 8; ++B)
+      V |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(Bytes[Cursor - 8 + B]))
+           << (8 * B);
+    return V;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    std::uint32_t Len = u32();
+    if (!take(Len))
+      return {};
+    return std::string(Bytes.substr(Cursor - Len, Len));
+  }
+
+  /// Reads \p Count doubles.  The remaining-bytes guard rejects absurd
+  /// counts before anything is allocated.
+  std::vector<double> f64Vector(std::size_t Count) {
+    if (Count > remaining() / 8) {
+      Overrun = true;
+      return {};
+    }
+    std::vector<double> V(Count);
+    for (double &X : V)
+      X = f64();
+    return V;
+  }
+
+private:
+  bool take(std::size_t N) {
+    if (Overrun || N > remaining()) {
+      Overrun = true;
+      return false;
+    }
+    Cursor += N;
+    return true;
+  }
+
+  std::string_view Bytes;
+  std::size_t Cursor = 0;
+  bool Overrun = false;
+};
+
+} // namespace binio
+} // namespace fgbs
+
+#endif // FGBS_SUPPORT_BINARYIO_H

@@ -1,0 +1,131 @@
+//===- tests/database_parallel_test.cpp - Parallel measurement fan-out ----===//
+
+#include "fgbs/core/MeasurementCache.h"
+
+#include "fgbs/analysis/Profiler.h"
+#include "fgbs/extract/Extraction.h"
+#include "fgbs/obs/Metrics.h"
+#include "fgbs/suites/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace fgbs;
+
+namespace {
+
+Suite smallSuite() {
+  SyntheticConfig Cfg;
+  Cfg.NumApplications = 2;
+  Cfg.CodeletsPerApp = 3;
+  Cfg.MinFootprintBytes = 64 << 10;
+  Cfg.MaxFootprintBytes = 1 << 20;
+  return makeSyntheticSuite(Cfg);
+}
+
+/// Field-by-field equality of two databases over the same suite.  The
+/// serialized form covers every field, so byte equality IS database
+/// equality — exactly the property the parallel fan-out promises.
+void expectBitIdentical(const MeasurementDatabase &A,
+                        const MeasurementDatabase &B) {
+  EXPECT_EQ(serializeMeasurements(A, 0), serializeMeasurements(B, 0));
+}
+
+} // namespace
+
+TEST(DatabaseParallel, AnyThreadCountIsBitIdenticalToSerial) {
+  Suite S = smallSuite();
+  std::vector<Machine> Targets = {makeAtom(), makeSandyBridge()};
+
+  DatabaseOptions Serial;
+  Serial.Threads = 1;
+  MeasurementDatabase DbSerial(S, makeNehalem(), Targets, {}, Serial);
+
+  for (unsigned Threads : {2u, 8u}) {
+    DatabaseOptions Parallel;
+    Parallel.Threads = Threads;
+    MeasurementDatabase DbParallel(S, makeNehalem(), Targets, {}, Parallel);
+    expectBitIdentical(DbSerial, DbParallel);
+  }
+}
+
+TEST(DatabaseParallel, SharedCompileMemoDoesNotChangeMeasurements) {
+  // Regression for the duplicate-compile fix: database construction now
+  // routes every execute() through one shared CompileCache.  The values
+  // must equal what the memo-free entry points produce.
+  Suite S = smallSuite();
+  std::vector<Machine> Targets = {makeAtom()};
+  MeasurementDatabase Db(S, makeNehalem(), Targets);
+
+  std::vector<const Codelet *> Codelets = S.allCodelets();
+  for (std::size_t I = 0; I < Codelets.size(); ++I) {
+    const Codelet &C = *Codelets[I];
+
+    CodeletProfile Plain = profileCodelet(C, makeNehalem());
+    EXPECT_EQ(Db.profile(I).InApp.MeasuredSeconds, Plain.InApp.MeasuredSeconds);
+    EXPECT_EQ(Db.profile(I).Features, Plain.Features);
+    EXPECT_EQ(Db.profile(I).Discarded, Plain.Discarded);
+
+    StandaloneMeasurement RefPlain = measureStandalone(C, makeNehalem());
+    EXPECT_EQ(Db.standaloneRef(I).MedianSeconds, RefPlain.MedianSeconds);
+    EXPECT_EQ(Db.standaloneRef(I).Invocations, RefPlain.Invocations);
+
+    Measurement InAppPlain = measureInApp(C, Targets[0]);
+    EXPECT_EQ(Db.realTargetSeconds(I, 0), InAppPlain.MeasuredSeconds);
+
+    StandaloneMeasurement TgtPlain = measureStandalone(C, Targets[0]);
+    EXPECT_EQ(Db.standaloneTarget(I, 0).MedianSeconds, TgtPlain.MedianSeconds);
+  }
+}
+
+TEST(DatabaseParallel, CompileCacheIsSharedAcrossKinds) {
+  CompileCache Cache;
+  Suite S = smallSuite();
+  const Codelet &C = *S.allCodelets().front();
+  Machine Ref = makeNehalem();
+
+  const BinaryLoop &A =
+      Cache.get(C, Ref, CompilationContext::InApplication, CompilerOptions());
+  const BinaryLoop &B =
+      Cache.get(C, Ref, CompilationContext::InApplication, CompilerOptions());
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  // Different context, machine, or options are distinct entries.
+  Cache.get(C, Ref, CompilationContext::Standalone, CompilerOptions());
+  EXPECT_EQ(Cache.size(), 2u);
+  Cache.get(C, makeAtom(), CompilationContext::InApplication,
+            CompilerOptions());
+  EXPECT_EQ(Cache.size(), 3u);
+  Cache.get(C, Ref, CompilationContext::InApplication,
+            CompilerOptions::noVec());
+  EXPECT_EQ(Cache.size(), 4u);
+}
+
+TEST(DatabaseParallel, DatabaseBuildRecordsCompileHits) {
+  // A database build compiles each (codelet, machine, context) once and
+  // serves every further execute() from the memo: with telemetry on,
+  // sim.compile.hits must be positive and misses bounded by the distinct
+  // compile keys.
+  obs::setEnabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  Suite S = smallSuite();
+  std::vector<Machine> Targets = {makeAtom()};
+  MeasurementDatabase Db(S, makeNehalem(), Targets);
+  EXPECT_GT(Db.numCodelets(), 0u);
+
+  obs::MetricsSnapshot Snap = obs::MetricsRegistry::global().snapshot();
+  obs::setEnabled(false);
+
+  ASSERT_TRUE(Snap.Counters.count("sim.compile.hits"));
+  ASSERT_TRUE(Snap.Counters.count("sim.compile.misses"));
+  EXPECT_GT(Snap.Counters.at("sim.compile.hits"), 0u);
+  // Distinct keys: codelets x (reference {InApp, Standalone} + target
+  // {InApp, Standalone}) is the ceiling; racing misses may compile a key
+  // twice but never more than once per work item.
+  EXPECT_LE(Snap.Counters.at("sim.compile.misses"),
+            Snap.Counters.at("sim.execute"));
+  EXPECT_GT(Snap.Counters.at("sim.execute"), 0u);
+}

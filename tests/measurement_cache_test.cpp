@@ -1,0 +1,376 @@
+//===- tests/measurement_cache_test.cpp - fgbs.meas.v1 cache --------------===//
+
+#include "fgbs/core/MeasurementCache.h"
+
+#include "fgbs/suites/Synthetic.h"
+#include "fgbs/support/Crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace fgbs;
+
+namespace {
+
+SyntheticConfig smallConfig() {
+  SyntheticConfig Cfg;
+  Cfg.NumApplications = 1;
+  Cfg.CodeletsPerApp = 4;
+  Cfg.MinFootprintBytes = 64 << 10;
+  Cfg.MaxFootprintBytes = 1 << 20;
+  return Cfg;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared small database (simulated once; every suite reuses it)
+//===----------------------------------------------------------------------===//
+
+class MeasurementCacheTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    TheSuite = new Suite(makeSyntheticSuite(smallConfig()));
+    Targets = {makeAtom(), makeSandyBridge()};
+    Db = new MeasurementDatabase(*TheSuite, makeNehalem(), Targets);
+    Key = measurementKey(*TheSuite, makeNehalem(), Targets);
+  }
+  static void TearDownTestSuite() {
+    delete Db;
+    delete TheSuite;
+    Db = nullptr;
+    TheSuite = nullptr;
+  }
+
+  static Suite *TheSuite;
+  static std::vector<Machine> Targets;
+  static MeasurementDatabase *Db;
+  static std::uint64_t Key;
+};
+
+Suite *MeasurementCacheTest::TheSuite = nullptr;
+std::vector<Machine> MeasurementCacheTest::Targets;
+MeasurementDatabase *MeasurementCacheTest::Db = nullptr;
+std::uint64_t MeasurementCacheTest::Key = 0;
+
+void patchU32(std::string &Bytes, std::size_t Offset, std::uint32_t V) {
+  for (int B = 0; B < 4; ++B)
+    Bytes[Offset + B] = static_cast<char>((V >> (8 * B)) & 0xffu);
+}
+
+void patchU64(std::string &Bytes, std::size_t Offset, std::uint64_t V) {
+  for (int B = 0; B < 8; ++B)
+    Bytes[Offset + B] = static_cast<char>((V >> (8 * B)) & 0xffu);
+}
+
+void fixChecksum(std::string &Bytes) {
+  patchU32(Bytes, 24,
+           crc32(std::string_view(Bytes).substr(kMeasurementHeaderBytes)));
+}
+
+/// A scratch directory unique to the running test, removed on scope
+/// exit.
+struct TempDir {
+  std::filesystem::path Path;
+  explicit TempDir(const std::string &Name)
+      : Path(std::filesystem::temp_directory_path() /
+             ("fgbs_meas_test_" + Name)) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round-tripping
+//===----------------------------------------------------------------------===//
+
+TEST_F(MeasurementCacheTest, SerializeParseSerializeIsByteIdentical) {
+  std::string Bytes = serializeMeasurements(*Db, Key);
+  MeasurementLoadResult R =
+      parseMeasurements(Bytes, *TheSuite, makeNehalem(), Targets, Key);
+  ASSERT_TRUE(R) << measurementCacheErrorName(R.Error) << ": " << R.Message;
+  EXPECT_EQ(serializeMeasurements(*R.Db, Key), Bytes);
+}
+
+TEST_F(MeasurementCacheTest, LoadedDatabaseMatchesFieldByField) {
+  std::string Bytes = serializeMeasurements(*Db, Key);
+  MeasurementLoadResult R =
+      parseMeasurements(Bytes, *TheSuite, makeNehalem(), Targets, Key);
+  ASSERT_TRUE(R) << R.Message;
+
+  ASSERT_EQ(R.Db->numCodelets(), Db->numCodelets());
+  ASSERT_EQ(R.Db->targets().size(), Db->targets().size());
+  for (std::size_t I = 0; I < Db->numCodelets(); ++I) {
+    const CodeletProfile &A = Db->profile(I);
+    const CodeletProfile &B = R.Db->profile(I);
+    // The rebuilt profile must point into the LIVE suite, not a copy.
+    EXPECT_EQ(B.C, A.C);
+    EXPECT_EQ(B.Discarded, A.Discarded);
+    EXPECT_EQ(B.InApp.TrueSeconds, A.InApp.TrueSeconds);
+    EXPECT_EQ(B.InApp.MeasuredSeconds, A.InApp.MeasuredSeconds);
+    EXPECT_EQ(B.InApp.Counters.Cycles, A.InApp.Counters.Cycles);
+    EXPECT_EQ(B.InApp.Compute.ComputeCycles, A.InApp.Compute.ComputeCycles);
+    EXPECT_EQ(B.Features, A.Features);
+    EXPECT_EQ(B.InApp.MemCyclesPerIter, A.InApp.MemCyclesPerIter);
+    EXPECT_EQ(R.Db->standaloneRef(I).MedianSeconds,
+              Db->standaloneRef(I).MedianSeconds);
+    EXPECT_EQ(R.Db->standaloneRef(I).Invocations,
+              Db->standaloneRef(I).Invocations);
+    for (std::size_t T = 0; T < Db->targets().size(); ++T) {
+      EXPECT_EQ(R.Db->realTargetSeconds(I, T), Db->realTargetSeconds(I, T));
+      EXPECT_EQ(R.Db->standaloneTarget(I, T).MedianSeconds,
+                Db->standaloneTarget(I, T).MedianSeconds);
+    }
+  }
+}
+
+TEST_F(MeasurementCacheTest, SaveLoadSaveFileIsByteIdentical) {
+  TempDir Dir("roundtrip");
+  std::string Path = (Dir.Path / measurementCacheFileName(Key)).string();
+  ASSERT_TRUE(saveMeasurementsFile(Path, *Db, Key));
+  MeasurementLoadResult R =
+      loadMeasurementsFile(Path, *TheSuite, makeNehalem(), Targets, Key);
+  ASSERT_TRUE(R) << R.Message;
+  std::string Second = (Dir.Path / "again.v1").string();
+  ASSERT_TRUE(saveMeasurementsFile(Second, *R.Db, Key));
+  std::ifstream A(Path, std::ios::binary), B(Second, std::ios::binary);
+  std::string BytesA((std::istreambuf_iterator<char>(A)),
+                     std::istreambuf_iterator<char>());
+  std::string BytesB((std::istreambuf_iterator<char>(B)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_FALSE(BytesA.empty());
+  EXPECT_EQ(BytesA, BytesB);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption: every failure is a typed error, never UB
+//===----------------------------------------------------------------------===//
+
+TEST_F(MeasurementCacheTest, EveryFlippedPayloadByteIsDetected) {
+  // CRC-32 detects all single-byte errors, so flipping ANY payload byte
+  // must fail before the structural decoder ever runs.
+  std::string Bytes = serializeMeasurements(*Db, Key);
+  for (std::size_t I = kMeasurementHeaderBytes; I < Bytes.size(); ++I) {
+    std::string Damaged = Bytes;
+    Damaged[I] = static_cast<char>(Damaged[I] ^ 0x40);
+    MeasurementLoadResult R =
+        parseMeasurements(Damaged, *TheSuite, makeNehalem(), Targets, Key);
+    ASSERT_FALSE(R) << "byte " << I;
+    EXPECT_EQ(R.Error, MeasurementCacheError::ChecksumMismatch)
+        << "byte " << I;
+  }
+}
+
+TEST_F(MeasurementCacheTest, HeaderDamageIsTyped) {
+  std::string Bytes = serializeMeasurements(*Db, Key);
+
+  std::string BadMagic = Bytes;
+  BadMagic[0] = 'X';
+  EXPECT_EQ(parseMeasurements(BadMagic, *TheSuite, makeNehalem(), Targets, Key)
+                .Error,
+            MeasurementCacheError::BadMagic);
+
+  std::string BadMajor = Bytes;
+  patchU32(BadMajor, 8, kMeasurementVersionMajor + 1);
+  EXPECT_EQ(parseMeasurements(BadMajor, *TheSuite, makeNehalem(), Targets, Key)
+                .Error,
+            MeasurementCacheError::UnsupportedVersion);
+
+  std::string Short = Bytes.substr(0, Bytes.size() / 2);
+  EXPECT_EQ(
+      parseMeasurements(Short, *TheSuite, makeNehalem(), Targets, Key).Error,
+      MeasurementCacheError::Truncated);
+
+  EXPECT_EQ(parseMeasurements(Bytes.substr(0, 10), *TheSuite, makeNehalem(),
+                              Targets, Key)
+                .Error,
+            MeasurementCacheError::Truncated);
+
+  EXPECT_EQ(parseMeasurements(Bytes + "junk", *TheSuite, makeNehalem(),
+                              Targets, Key)
+                .Error,
+            MeasurementCacheError::Malformed);
+
+  std::string BadCrc = Bytes;
+  patchU32(BadCrc, 24, 0xDEADBEEFu);
+  EXPECT_EQ(
+      parseMeasurements(BadCrc, *TheSuite, makeNehalem(), Targets, Key).Error,
+      MeasurementCacheError::ChecksumMismatch);
+}
+
+TEST_F(MeasurementCacheTest, NonFiniteValuesAreRejected) {
+  std::string Bytes = serializeMeasurements(*Db, Key);
+  // Rather than compute the offset of a specific double, scan forward
+  // planting a quiet NaN (with a fixed-up checksum, so the CRC stage
+  // passes) until the finite-value validation rejects one.  Earlier
+  // offsets land in the identity strings and fail as KeyMismatch — also
+  // a typed error, never a crash.
+  bool SawInvalidValue = false;
+  for (std::size_t I = kMeasurementHeaderBytes; I + 8 <= Bytes.size(); ++I) {
+    std::string Damaged = Bytes;
+    patchU64(Damaged, I, 0x7ff8000000000000ull); // quiet NaN
+    fixChecksum(Damaged);
+    MeasurementLoadResult R =
+        parseMeasurements(Damaged, *TheSuite, makeNehalem(), Targets, Key);
+    if (!R && R.Error == MeasurementCacheError::InvalidValue) {
+      SawInvalidValue = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(SawInvalidValue);
+}
+
+TEST_F(MeasurementCacheTest, FutureMinorVersionSkipsTrailingFields) {
+  std::string Bytes = serializeMeasurements(*Db, Key);
+  Bytes.append("\x01\x02\x03\x04", 4);
+  patchU32(Bytes, 12, kMeasurementVersionMinor + 1);
+  patchU64(Bytes, 16, Bytes.size() - kMeasurementHeaderBytes);
+  fixChecksum(Bytes);
+  MeasurementLoadResult R =
+      parseMeasurements(Bytes, *TheSuite, makeNehalem(), Targets, Key);
+  ASSERT_TRUE(R) << R.Message;
+  EXPECT_EQ(R.Db->numCodelets(), Db->numCodelets());
+}
+
+TEST_F(MeasurementCacheTest, MissingFileIsIo) {
+  MeasurementLoadResult R = loadMeasurementsFile(
+      "/nonexistent/fgbs/cache.v1", *TheSuite, makeNehalem(), Targets, Key);
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error, MeasurementCacheError::Io);
+}
+
+//===----------------------------------------------------------------------===//
+// Content key
+//===----------------------------------------------------------------------===//
+
+TEST_F(MeasurementCacheTest, KeyCoversMachinesPolicyAndCodelets) {
+  std::uint64_t Base = measurementKey(*TheSuite, makeNehalem(), Targets);
+  EXPECT_EQ(Base, measurementKey(*TheSuite, makeNehalem(), Targets));
+
+  // Any machine-configuration change re-keys the cache.
+  std::vector<Machine> Tweaked = Targets;
+  Tweaked[0].MemBandwidthGBs *= 2.0;
+  EXPECT_NE(Base, measurementKey(*TheSuite, makeNehalem(), Tweaked));
+  Tweaked = Targets;
+  Tweaked[1].CacheLevels.back().SizeBytes /= 2;
+  EXPECT_NE(Base, measurementKey(*TheSuite, makeNehalem(), Tweaked));
+
+  // So does the timing policy...
+  TimingPolicy Longer;
+  Longer.MinRunSeconds = 1.0;
+  EXPECT_NE(Base, measurementKey(*TheSuite, makeNehalem(), Targets, Longer));
+
+  // ...and any codelet change.
+  Suite Bigger = makeSyntheticSuite(smallConfig());
+  Bigger.Applications[0].Codelets[0].Nest.InnerTripCount += 1;
+  EXPECT_NE(Base, measurementKey(Bigger, makeNehalem(), Targets));
+}
+
+TEST_F(MeasurementCacheTest, WrongExpectedKeyIsKeyMismatch) {
+  std::string Bytes = serializeMeasurements(*Db, Key);
+  MeasurementLoadResult R =
+      parseMeasurements(Bytes, *TheSuite, makeNehalem(), Targets, Key + 1);
+  EXPECT_FALSE(R);
+  EXPECT_EQ(R.Error, MeasurementCacheError::KeyMismatch);
+}
+
+//===----------------------------------------------------------------------===//
+// buildMeasurementDatabase: the cached front-end
+//===----------------------------------------------------------------------===//
+
+TEST_F(MeasurementCacheTest, BuildStoresThenServesIdenticalDatabase) {
+  TempDir Dir("build");
+  DatabaseBuildOptions Options;
+  Options.CacheDir = Dir.Path.string();
+
+  auto Cold = buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets,
+                                       Options);
+  ASSERT_TRUE(Cold);
+  EXPECT_TRUE(std::filesystem::exists(Dir.Path / measurementCacheFileName(
+                                                     Key)));
+  auto Warm = buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets,
+                                       Options);
+  ASSERT_TRUE(Warm);
+  EXPECT_EQ(serializeMeasurements(*Warm, Key),
+            serializeMeasurements(*Cold, Key));
+  EXPECT_EQ(serializeMeasurements(*Cold, Key), serializeMeasurements(*Db, Key));
+}
+
+TEST_F(MeasurementCacheTest, ChangedMachineConfigForcesResimulation) {
+  TempDir Dir("rekey");
+  DatabaseBuildOptions Options;
+  Options.CacheDir = Dir.Path.string();
+
+  auto First =
+      buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets, Options);
+  ASSERT_TRUE(First);
+
+  // A tweaked target keys to a different file: the warm file for the old
+  // configuration must not be served, and a fresh simulation must run.
+  std::vector<Machine> Tweaked = Targets;
+  Tweaked[0].MemBandwidthGBs *= 2.0;
+  auto Second =
+      buildMeasurementDatabase(*TheSuite, makeNehalem(), Tweaked, Options);
+  ASSERT_TRUE(Second);
+  std::uint64_t TweakedKey = measurementKey(*TheSuite, makeNehalem(), Tweaked);
+  EXPECT_NE(TweakedKey, Key);
+  EXPECT_TRUE(
+      std::filesystem::exists(Dir.Path / measurementCacheFileName(TweakedKey)));
+  // Doubled bandwidth must actually change some measurement.
+  bool AnyDifferent = false;
+  for (std::size_t I = 0; I < First->numCodelets(); ++I)
+    AnyDifferent |= First->standaloneTarget(I, 0).MedianSeconds !=
+                    Second->standaloneTarget(I, 0).MedianSeconds;
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST_F(MeasurementCacheTest, CorruptFileFallsBackToCleanResimulation) {
+  TempDir Dir("corrupt");
+  DatabaseBuildOptions Options;
+  Options.CacheDir = Dir.Path.string();
+
+  auto Cold =
+      buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets, Options);
+  ASSERT_TRUE(Cold);
+
+  // Damage the stored file: the next build must warn, ignore it, and
+  // still produce the exact uncached database (then re-store it).
+  std::filesystem::path File = Dir.Path / measurementCacheFileName(Key);
+  {
+    std::ifstream In(File, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(Bytes.size(), kMeasurementHeaderBytes + 3);
+    Bytes[kMeasurementHeaderBytes + 3] ^= 0x40;
+    std::ofstream Out(File, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+  auto Recovered =
+      buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets, Options);
+  ASSERT_TRUE(Recovered);
+  EXPECT_EQ(serializeMeasurements(*Recovered, Key),
+            serializeMeasurements(*Db, Key));
+
+  // The re-store healed the file: a third build serves it cleanly.
+  MeasurementLoadResult Healed = loadMeasurementsFile(
+      File.string(), *TheSuite, makeNehalem(), Targets, Key);
+  EXPECT_TRUE(Healed) << Healed.Message;
+}
+
+TEST_F(MeasurementCacheTest, NoCacheNeverTouchesDisk) {
+  TempDir Dir("disabled");
+  DatabaseBuildOptions Options;
+  Options.CacheDir = Dir.Path.string();
+  Options.UseCache = false;
+  auto DbNoCache =
+      buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets, Options);
+  ASSERT_TRUE(DbNoCache);
+  EXPECT_TRUE(std::filesystem::is_empty(Dir.Path));
+  EXPECT_EQ(serializeMeasurements(*DbNoCache, Key),
+            serializeMeasurements(*Db, Key));
+}

@@ -9,12 +9,15 @@
 // snapshot that tools/fgbs_query serves online.
 //
 //   fgbs_train --suite nr|nas|synthetic --out model.fgbs [--k N]
+//              [--threads N] [--cache DIR | --no-cache]
 //
 // Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON like every
-// other FGBS surface.
+// other FGBS surface, plus FGBS_THREADS (default measurement fan-out)
+// and FGBS_MEAS_CACHE (default measurement-cache directory).
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/MeasurementCache.h"
 #include "fgbs/obs/RunReport.h"
 #include "fgbs/obs/Trace.h"
 #include "fgbs/service/Snapshot.h"
@@ -33,6 +36,7 @@ constexpr const char *kVersion = "fgbs_train (fgbs.model.v1 writer) 1.0";
 
 int usage(std::ostream &OS, int Exit) {
   OS << "usage: fgbs_train --suite nr|nas|synthetic --out PATH [--k N]\n"
+        "                  [--threads N] [--cache DIR | --no-cache]\n"
         "\n"
         "Runs the benchmark-subsetting pipeline over the chosen suite on\n"
         "the reference machine and writes an fgbs.model.v1 snapshot that\n"
@@ -42,6 +46,15 @@ int usage(std::ostream &OS, int Exit) {
         "                 synthetic (the deterministic synthetic corpus)\n"
         "  --out PATH     snapshot file to write (required)\n"
         "  --k N          force N clusters (default: Elbow-selected)\n"
+        "  --threads N    measurement threads (default: the FGBS_THREADS\n"
+        "                 environment variable, else all hardware threads;\n"
+        "                 any count produces bit-identical measurements)\n"
+        "  --cache DIR    measurement-cache directory: a warm run loads\n"
+        "                 the finished fgbs.meas.v1 database from DIR and\n"
+        "                 skips simulation entirely (default: the\n"
+        "                 FGBS_MEAS_CACHE environment variable)\n"
+        "  --no-cache     never read or write the measurement cache, even\n"
+        "                 when FGBS_MEAS_CACHE is set\n"
         "  --help         print this help and exit\n"
         "  --version      print the tool version and exit\n";
   return Exit;
@@ -53,6 +66,9 @@ int main(int argc, char **argv) {
   std::string SuiteName = "nr";
   std::string OutPath;
   unsigned K = 0;
+  DatabaseBuildOptions Build;
+  if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
+    Build.CacheDir = Dir;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -74,6 +90,18 @@ int main(int argc, char **argv) {
         return usage(std::cerr, 2);
       }
       K = static_cast<unsigned>(V);
+    } else if (Arg == "--threads" && I + 1 < argc) {
+      char *End = nullptr;
+      long V = std::strtol(argv[++I], &End, 10);
+      if (End == argv[I] || *End != '\0' || V <= 0) {
+        std::cerr << "fgbs_train: --threads needs a positive integer\n";
+        return usage(std::cerr, 2);
+      }
+      Build.Threads = static_cast<unsigned>(V);
+    } else if (Arg == "--cache" && I + 1 < argc) {
+      Build.CacheDir = argv[++I];
+    } else if (Arg == "--no-cache") {
+      Build.UseCache = false;
     } else {
       std::cerr << "fgbs_train: unknown argument '" << Arg << "'\n";
       return usage(std::cerr, 2);
@@ -99,7 +127,9 @@ int main(int argc, char **argv) {
   obs::Session Run("fgbs_train");
 
   std::uint64_t ProfileStart = obs::nowNs();
-  MeasurementDatabase Db(S, makeNehalem(), paperTargets());
+  std::unique_ptr<MeasurementDatabase> DbPtr =
+      buildMeasurementDatabase(S, makeNehalem(), paperTargets(), Build);
+  MeasurementDatabase &Db = *DbPtr;
   Run.recordValue("profile_ms",
                   static_cast<double>(obs::nowNs() - ProfileStart) / 1e6);
 
