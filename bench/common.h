@@ -35,8 +35,12 @@ namespace bench {
 /// picks the measurement fan-out (0/unset = auto) and FGBS_MEAS_CACHE
 /// names a directory of fgbs.meas.v1 files — when set, a warm run loads
 /// the finished database instead of re-simulating (see
-/// core/MeasurementCache.h).  Either way the numbers are bit-identical
-/// to a serial, uncached build.
+/// core/MeasurementCache.h).  The cache is safe to share across
+/// concurrently launched benches: cold runs coordinate through a
+/// per-entry file lock (FGBS_MEAS_CACHE_LOCK_MS caps the wait) so only
+/// one simulates, and FGBS_MEAS_CACHE_MAX_BYTES LRU-bounds the
+/// directory.  Either way the numbers are bit-identical to a serial,
+/// uncached build.
 struct Study {
   Suite TheSuite;
   std::unique_ptr<MeasurementDatabase> Db;

@@ -131,6 +131,25 @@ void BM_WarmCacheLoad(benchmark::State &State) {
 }
 BENCHMARK(BM_WarmCacheLoad);
 
+/// One uncontended acquire/release of the cross-process writer lock —
+/// the fixed overhead a cold store pays on top of simulation, and the
+/// per-update cost of the manifest lock.  Dominated by the open/flock
+/// syscall pair.
+void BM_FileLockCycle(benchmark::State &State) {
+  std::filesystem::path Dir =
+      std::filesystem::temp_directory_path() / "fgbs_bench_file_lock";
+  std::filesystem::create_directories(Dir);
+  const std::string Path = (Dir / "bench.lock").string();
+  for (auto _ : State) {
+    FileLock Lock(Path);
+    benchmark::DoNotOptimize(Lock.acquire());
+    Lock.release();
+  }
+  State.SetItemsProcessed(static_cast<std::int64_t>(State.iterations()));
+  std::filesystem::remove_all(Dir);
+}
+BENCHMARK(BM_FileLockCycle);
+
 /// Console output as usual, plus every per-iteration result recorded
 /// into the telemetry session so the run exports as fgbs.run.v1 (the
 /// schema bench/BENCH_measure.json and the CI perf gate consume).

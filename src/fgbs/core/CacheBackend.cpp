@@ -1,0 +1,123 @@
+//===- fgbs/core/CacheBackend.cpp - Measurement-cache storage -------------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/core/CacheBackend.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace fgbs;
+
+namespace fs = std::filesystem;
+
+bool fgbs::atomicWriteFile(const std::string &Path, std::string_view Bytes) {
+  // Unique per process AND per call so two stores of one name never
+  // share a temp file; the temp sits next to its target, keeping the
+  // final rename within one filesystem and therefore atomic.
+  static std::atomic<std::uint64_t> Serial{0};
+  std::string Temp = Path + ".tmp." +
+                     std::to_string(static_cast<long>(::getpid())) + "." +
+                     std::to_string(Serial.fetch_add(1));
+  {
+    std::ofstream OS(Temp, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return false;
+    OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    OS.flush();
+    if (!OS) {
+      OS.close();
+      std::error_code Ec;
+      fs::remove(Temp, Ec);
+      return false;
+    }
+  }
+  std::error_code Ec;
+  fs::rename(Temp, Path, Ec);
+  if (Ec) {
+    fs::remove(Temp, Ec);
+    return false;
+  }
+  return true;
+}
+
+LocalDirBackend::LocalDirBackend(std::string Dir) : Dir(std::move(Dir)) {
+  // Eager so lock files can be created before the first put(); the
+  // error-code overload tolerates concurrent creators.
+  std::error_code Ec;
+  fs::create_directories(this->Dir, Ec);
+}
+
+std::string LocalDirBackend::fullPath(const std::string &Name) const {
+  return (fs::path(Dir) / Name).string();
+}
+
+bool LocalDirBackend::exists(const std::string &Name) const {
+  std::error_code Ec;
+  return fs::exists(fullPath(Name), Ec);
+}
+
+bool LocalDirBackend::get(const std::string &Name,
+                          std::string &BytesOut) const {
+  std::ifstream IS(fullPath(Name), std::ios::binary);
+  if (!IS)
+    return false;
+  std::string Bytes((std::istreambuf_iterator<char>(IS)),
+                    std::istreambuf_iterator<char>());
+  if (IS.bad())
+    return false;
+  BytesOut = std::move(Bytes);
+  return true;
+}
+
+bool LocalDirBackend::put(const std::string &Name, std::string_view Bytes) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  return atomicWriteFile(fullPath(Name), Bytes);
+}
+
+bool LocalDirBackend::remove(const std::string &Name) {
+  std::error_code Ec;
+  return fs::remove(fullPath(Name), Ec) && !Ec;
+}
+
+std::vector<CacheEntry> LocalDirBackend::scan(const std::string &Prefix,
+                                              const std::string &Suffix) const {
+  std::vector<CacheEntry> Out;
+  std::error_code Ec;
+  fs::directory_iterator It(Dir, Ec), End;
+  if (Ec)
+    return Out;
+  for (; It != End; It.increment(Ec)) {
+    if (Ec)
+      break;
+    if (!It->is_regular_file(Ec))
+      continue;
+    std::string Name = It->path().filename().string();
+    if (Name.size() < Prefix.size() + Suffix.size() ||
+        Name.compare(0, Prefix.size(), Prefix) != 0 ||
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    struct stat St;
+    if (::stat(It->path().c_str(), &St) != 0)
+      continue;
+    CacheEntry E;
+    E.Name = std::move(Name);
+    E.SizeBytes = static_cast<std::uint64_t>(St.st_size);
+    E.AccessUnixSeconds = static_cast<std::int64_t>(St.st_mtime);
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+std::string LocalDirBackend::lockPath(const std::string &Name) const {
+  return fullPath(Name) + ".lock";
+}

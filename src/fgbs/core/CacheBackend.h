@@ -1,0 +1,99 @@
+//===- fgbs/core/CacheBackend.h - Measurement-cache storage ----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage seam under core/MeasurementCache: named blobs with
+/// atomic publish, enumeration, and (optionally) a lock-file location
+/// for cross-process writer coordination.
+///
+/// LocalDirBackend is the one shipping implementation — a flat
+/// directory of content-addressed `fgbs-meas-*.v1` files where put() is
+/// write-to-temp-in-the-same-directory + rename, so readers only ever
+/// observe absent or complete entries (the temp file lives next to its
+/// target, never in /tmp, because rename(2) is only atomic within one
+/// filesystem).  The interface is deliberately dumb-blob-shaped so the
+/// ROADMAP's sharded remote tier (HTTP/object store; content-addressed
+/// keys make it natural) can slot in without touching the cache logic:
+/// a remote backend returns an empty lockPath() and brings its own
+/// atomicity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_CACHEBACKEND_H
+#define FGBS_CORE_CACHEBACKEND_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgbs {
+
+/// One stored blob as enumeration reports it.
+struct CacheEntry {
+  std::string Name;
+  std::uint64_t SizeBytes = 0;
+  /// Last-use time (unix seconds).  scan() reports the storage-level
+  /// modification time; the manifest layer overlays true access times.
+  std::int64_t AccessUnixSeconds = 0;
+};
+
+/// Named-blob storage under the measurement cache.
+class CacheBackend {
+public:
+  virtual ~CacheBackend() = default;
+
+  virtual bool exists(const std::string &Name) const = 0;
+
+  /// Reads the whole blob; false when absent or unreadable.
+  virtual bool get(const std::string &Name, std::string &BytesOut) const = 0;
+
+  /// Atomically publishes the blob: concurrent readers see either the
+  /// previous version or this one, never a partial write.
+  virtual bool put(const std::string &Name, std::string_view Bytes) = 0;
+
+  virtual bool remove(const std::string &Name) = 0;
+
+  /// Enumerates blobs whose name starts with \p Prefix and ends with
+  /// \p Suffix (both may be empty).
+  virtual std::vector<CacheEntry> scan(const std::string &Prefix,
+                                       const std::string &Suffix) const = 0;
+
+  /// Where a FileLock coordinating writers of \p Name should live;
+  /// empty when this backend needs no cross-process locking.
+  virtual std::string lockPath(const std::string &Name) const = 0;
+};
+
+/// Writes \p Bytes to \p Path via a temp file in Path's own directory
+/// plus an atomic rename.  Shared by LocalDirBackend and the bare
+/// saveMeasurementsFile() wrapper.
+bool atomicWriteFile(const std::string &Path, std::string_view Bytes);
+
+/// A flat directory of blobs (created on first use).
+class LocalDirBackend final : public CacheBackend {
+public:
+  explicit LocalDirBackend(std::string Dir);
+
+  const std::string &dir() const { return Dir; }
+
+  bool exists(const std::string &Name) const override;
+  bool get(const std::string &Name, std::string &BytesOut) const override;
+  bool put(const std::string &Name, std::string_view Bytes) override;
+  bool remove(const std::string &Name) override;
+  std::vector<CacheEntry> scan(const std::string &Prefix,
+                               const std::string &Suffix) const override;
+  std::string lockPath(const std::string &Name) const override;
+
+private:
+  std::string fullPath(const std::string &Name) const;
+
+  std::string Dir;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_CACHEBACKEND_H

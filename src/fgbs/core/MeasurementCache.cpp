@@ -38,9 +38,12 @@
 #include "fgbs/support/Crc32.h"
 #include "fgbs/support/Rng.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -198,6 +201,8 @@ const char *fgbs::measurementCacheErrorName(MeasurementCacheError E) {
     return "malformed";
   case MeasurementCacheError::InvalidValue:
     return "invalid_value";
+  case MeasurementCacheError::LockTimeout:
+    return "lock_timeout";
   }
   return "unknown";
 }
@@ -472,13 +477,7 @@ MeasurementLoadResult fgbs::parseMeasurements(std::string_view Bytes,
 bool fgbs::saveMeasurementsFile(const std::string &Path,
                                 const MeasurementDatabase &Db,
                                 std::uint64_t Key) {
-  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
-  if (!OS)
-    return false;
-  std::string Bytes = serializeMeasurements(Db, Key);
-  OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
-  OS.flush();
-  return static_cast<bool>(OS);
+  return atomicWriteFile(Path, serializeMeasurements(Db, Key));
 }
 
 MeasurementLoadResult fgbs::loadMeasurementsFile(const std::string &Path,
@@ -498,6 +497,258 @@ MeasurementLoadResult fgbs::loadMeasurementsFile(const std::string &Path,
 }
 
 //===----------------------------------------------------------------------===//
+// The manifest (fgbs.meas.index.v1) and lifecycle logic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::int64_t nowUnixSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t envU64(const char *Name) {
+  const char *Raw = std::getenv(Name);
+  if (!Raw || !*Raw)
+    return 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Raw, &End, 10);
+  return (End && *End == '\0') ? static_cast<std::uint64_t>(V) : 0;
+}
+
+/// Parses the manifest text; false means corrupt (callers rescan).
+bool parseManifest(std::string_view Text, std::vector<CacheEntry> &Out) {
+  std::istringstream In{std::string(Text)};
+  std::string Line;
+  if (!std::getline(In, Line) || Line != kMeasurementIndexName)
+    return false;
+  std::vector<CacheEntry> Entries;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream Fields(Line);
+    CacheEntry E;
+    if (!(Fields >> E.AccessUnixSeconds >> E.SizeBytes >> E.Name) ||
+        E.Name.empty())
+      return false;
+    std::string Extra;
+    if (Fields >> Extra)
+      return false;
+    Entries.push_back(std::move(E));
+  }
+  Out = std::move(Entries);
+  return true;
+}
+
+std::string renderManifest(const std::vector<CacheEntry> &Entries) {
+  std::string Out = kMeasurementIndexName;
+  Out.push_back('\n');
+  for (const CacheEntry &E : Entries) {
+    Out += std::to_string(E.AccessUnixSeconds);
+    Out.push_back(' ');
+    Out += std::to_string(E.SizeBytes);
+    Out.push_back(' ');
+    Out += E.Name;
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+/// Most recently used first; name-ordered among ties for determinism.
+void sortLru(std::vector<CacheEntry> &Entries) {
+  std::sort(Entries.begin(), Entries.end(),
+            [](const CacheEntry &A, const CacheEntry &B) {
+              if (A.AccessUnixSeconds != B.AccessUnixSeconds)
+                return A.AccessUnixSeconds > B.AccessUnixSeconds;
+              return A.Name < B.Name;
+            });
+}
+
+/// Every lock acquisition in the cache layer funnels through here so
+/// the db.cache.lock.* counters cover entry and manifest locks alike.
+FileLock::AcquireResult acquireCounted(FileLock &Lock,
+                                       const FileLock::Options &O) {
+  FileLock::AcquireResult R = Lock.acquire(O);
+  if (R.WaitedMs > 0)
+    FGBS_COUNTER_ADD("db.cache.lock.waited_ms", R.WaitedMs);
+  if (R)
+    FGBS_COUNTER_ADD("db.cache.lock.acquired", 1);
+  else if (R.St == FileLock::Status::Timeout)
+    FGBS_COUNTER_ADD("db.cache.lock.timeouts", 1);
+  return R;
+}
+
+/// Manifest updates are quick bookkeeping: give them a short slice of
+/// the writer budget so a wedged manifest lock cannot stall a build.
+FileLock::Options manifestOptions(const FileLock::Options &Base) {
+  FileLock::Options O = Base;
+  O.TimeoutMs = std::min<std::uint64_t>(Base.TimeoutMs, 5000);
+  return O;
+}
+
+constexpr char kEntryPrefix[] = "fgbs-meas-";
+constexpr char kEntrySuffix[] = ".v1";
+
+} // namespace
+
+std::uint64_t fgbs::measurementCacheEnvMaxBytes() {
+  return envU64("FGBS_MEAS_CACHE_MAX_BYTES");
+}
+
+MeasurementCache::MeasurementCache(const std::string &Dir)
+    : BackendPtr(std::make_unique<LocalDirBackend>(Dir)) {}
+
+MeasurementCache::MeasurementCache(std::unique_ptr<CacheBackend> Backend)
+    : BackendPtr(std::move(Backend)) {}
+
+std::string MeasurementCache::entryLockPath(std::uint64_t Key) const {
+  return BackendPtr->lockPath(measurementCacheFileName(Key));
+}
+
+bool MeasurementCache::exists(std::uint64_t Key) const {
+  return BackendPtr->exists(measurementCacheFileName(Key));
+}
+
+void MeasurementCache::touchEntry(const std::string &Name,
+                                  std::uint64_t SizeBytes) {
+  const std::int64_t Now = nowUnixSeconds();
+  // Relatime fast path: manifest writes are skipped while the entry's
+  // recorded access time is fresh.  The read is lock-free — manifests
+  // are published atomically, so any version we see is consistent.
+  {
+    std::string Raw;
+    std::vector<CacheEntry> Entries;
+    if (BackendPtr->get(kMeasurementIndexName, Raw) &&
+        parseManifest(Raw, Entries))
+      for (const CacheEntry &E : Entries)
+        if (E.Name == Name && E.SizeBytes == SizeBytes &&
+            Now - E.AccessUnixSeconds < kManifestRelatimeSeconds)
+          return;
+  }
+
+  FileLock Lock(BackendPtr->lockPath(kMeasurementIndexName));
+  if (!acquireCounted(Lock, manifestOptions(LockOptions)))
+    return; // Advisory bookkeeping; a rescan recovers a lost update.
+
+  std::string Raw;
+  std::vector<CacheEntry> Entries;
+  if (!(BackendPtr->get(kMeasurementIndexName, Raw) &&
+        parseManifest(Raw, Entries)))
+    Entries = BackendPtr->scan(kEntryPrefix, kEntrySuffix);
+  bool Found = false;
+  for (CacheEntry &E : Entries)
+    if (E.Name == Name) {
+      E.AccessUnixSeconds = Now;
+      E.SizeBytes = SizeBytes;
+      Found = true;
+    }
+  if (!Found)
+    Entries.push_back({Name, SizeBytes, Now});
+  sortLru(Entries);
+  BackendPtr->put(kMeasurementIndexName, renderManifest(Entries));
+}
+
+MeasurementLoadResult MeasurementCache::load(const Suite &S, Machine Reference,
+                                             std::vector<Machine> Targets,
+                                             std::uint64_t Key) {
+  const std::string Name = measurementCacheFileName(Key);
+  std::string Bytes;
+  if (!BackendPtr->get(Name, Bytes))
+    return failed(MeasurementCacheError::Io,
+                  "cannot read '" + Name + "' from the cache backend");
+  MeasurementLoadResult R = parseMeasurements(Bytes, S, std::move(Reference),
+                                              std::move(Targets), Key);
+  if (R)
+    touchEntry(Name, Bytes.size());
+  return R;
+}
+
+MeasurementCacheError MeasurementCache::store(const MeasurementDatabase &Db,
+                                              std::uint64_t Key,
+                                              bool EntryLockHeld,
+                                              std::string *Message) {
+  const std::string Name = measurementCacheFileName(Key);
+  FileLock Lock(BackendPtr->lockPath(Name));
+  if (!EntryLockHeld) {
+    FileLock::AcquireResult R = acquireCounted(Lock, LockOptions);
+    if (!R) {
+      if (Message)
+        *Message = R.Message;
+      return MeasurementCacheError::LockTimeout;
+    }
+  }
+  std::string Bytes = serializeMeasurements(Db, Key);
+  if (!BackendPtr->put(Name, Bytes)) {
+    if (Message)
+      *Message = "cannot publish '" + Name + "' to the cache backend";
+    return MeasurementCacheError::Io;
+  }
+  touchEntry(Name, Bytes.size());
+  return MeasurementCacheError::None;
+}
+
+CachePruneStats MeasurementCache::prune(std::uint64_t MaxBytes,
+                                        std::uint64_t MaxAgeSeconds) {
+  CachePruneStats Stats;
+  FileLock Lock(BackendPtr->lockPath(kMeasurementIndexName));
+  if (!acquireCounted(Lock, manifestOptions(LockOptions))) {
+    Stats.LockTimedOut = true;
+    return Stats;
+  }
+
+  // The backend scan is the ground truth for existence and size; the
+  // manifest overlays true access times.  A missing or corrupt manifest
+  // degrades to the scan's mtimes and is healed by the rewrite below.
+  std::vector<CacheEntry> OnDisk =
+      BackendPtr->scan(kEntryPrefix, kEntrySuffix);
+  std::string Raw;
+  std::vector<CacheEntry> Manifest;
+  const bool ManifestOk = BackendPtr->get(kMeasurementIndexName, Raw) &&
+                          parseManifest(Raw, Manifest);
+  Stats.RebuiltFromScan = !ManifestOk;
+  if (ManifestOk)
+    for (CacheEntry &E : OnDisk)
+      for (const CacheEntry &M : Manifest)
+        if (M.Name == E.Name) {
+          E.AccessUnixSeconds = M.AccessUnixSeconds;
+          break;
+        }
+
+  Stats.Entries = OnDisk.size();
+  for (const CacheEntry &E : OnDisk)
+    Stats.BytesBefore += E.SizeBytes;
+
+  sortLru(OnDisk);
+  const std::int64_t Now = nowUnixSeconds();
+  std::vector<CacheEntry> Kept;
+  std::uint64_t KeptBytes = 0;
+  for (CacheEntry &E : OnDisk) {
+    const bool TooOld =
+        MaxAgeSeconds != 0 &&
+        Now - E.AccessUnixSeconds > static_cast<std::int64_t>(MaxAgeSeconds);
+    const bool OverBudget = MaxBytes != 0 && KeptBytes + E.SizeBytes > MaxBytes;
+    if (!TooOld && !OverBudget) {
+      KeptBytes += E.SizeBytes;
+      Kept.push_back(std::move(E));
+      continue;
+    }
+    if (BackendPtr->remove(E.Name)) {
+      ++Stats.Removed;
+    } else {
+      // Deletion failed: keep accounting honest and keep tracking it.
+      KeptBytes += E.SizeBytes;
+      Kept.push_back(std::move(E));
+    }
+  }
+  Stats.BytesAfter = KeptBytes;
+  if (Stats.Removed > 0)
+    FGBS_COUNTER_ADD("db.cache.evictions", Stats.Removed);
+  BackendPtr->put(kMeasurementIndexName, renderManifest(Kept));
+  return Stats;
+}
+
+//===----------------------------------------------------------------------===//
 // The cached build front-end
 //===----------------------------------------------------------------------===//
 
@@ -505,44 +756,90 @@ std::unique_ptr<MeasurementDatabase>
 fgbs::buildMeasurementDatabase(const Suite &S, Machine Reference,
                                std::vector<Machine> Targets,
                                const DatabaseBuildOptions &Options) {
-  const bool CacheOn = Options.UseCache && !Options.CacheDir.empty();
-  const std::uint64_t Key =
-      CacheOn ? measurementKey(S, Reference, Targets, Options.Policy) : 0;
-  std::string Path;
-  if (CacheOn) {
-    Path = (std::filesystem::path(Options.CacheDir) /
-            measurementCacheFileName(Key))
-               .string();
-    std::error_code Ec;
-    if (std::filesystem::exists(Path, Ec)) {
-      MeasurementLoadResult Loaded =
-          loadMeasurementsFile(Path, S, Reference, Targets, Key);
-      if (Loaded) {
-        FGBS_COUNTER_ADD("db.cache.hits", 1);
-        return std::move(Loaded.Db);
-      }
-      // A present-but-unusable file (CRC damage, version skew, a key
-      // collision) must never poison results: warn and re-simulate.
+  DatabaseOptions DbOptions;
+  DbOptions.Threads = Options.Threads;
+  auto Simulate = [&] {
+    return std::make_unique<MeasurementDatabase>(S, Reference, Targets,
+                                                 Options.Policy, DbOptions);
+  };
+  if (!Options.UseCache || Options.CacheDir.empty())
+    return Simulate();
+
+  MeasurementCache Cache(Options.CacheDir);
+  Cache.LockOptions.TimeoutMs = Options.LockTimeoutMs
+                                    ? Options.LockTimeoutMs
+                                    : envU64("FGBS_MEAS_CACHE_LOCK_MS");
+  if (Cache.LockOptions.TimeoutMs == 0)
+    Cache.LockOptions.TimeoutMs = 600000;
+  const std::uint64_t Key = measurementKey(S, Reference, Targets,
+                                           Options.Policy);
+
+  // \p Quiet silences the unusable-file warning on the post-lock
+  // double check (the first pass already warned and counted it).
+  auto TryLoad = [&](bool Quiet) -> std::unique_ptr<MeasurementDatabase> {
+    if (!Cache.exists(Key))
+      return nullptr;
+    MeasurementLoadResult Loaded = Cache.load(S, Reference, Targets, Key);
+    if (Loaded) {
+      FGBS_COUNTER_ADD("db.cache.hits", 1);
+      return std::move(Loaded.Db);
+    }
+    // A present-but-unusable file (CRC damage, version skew, a key
+    // collision) must never poison results: warn and re-simulate.
+    if (!Quiet) {
       FGBS_COUNTER_ADD("db.cache.errors", 1);
-      std::cerr << "fgbs: measurement cache '" << Path << "' unusable ("
+      std::cerr << "fgbs: measurement cache entry '"
+                << measurementCacheFileName(Key) << "' in '"
+                << Options.CacheDir << "' unusable ("
                 << measurementCacheErrorName(Loaded.Error) << ": "
                 << Loaded.Message << "); re-simulating\n";
     }
-    FGBS_COUNTER_ADD("db.cache.misses", 1);
+    return nullptr;
+  };
+
+  // Fast path — no lock: a published entry is complete by construction
+  // (atomic rename), so readers never coordinate with writers.
+  if (auto Db = TryLoad(/*Quiet=*/false))
+    return Db;
+  FGBS_COUNTER_ADD("db.cache.misses", 1);
+
+  // Cold path: exactly one concurrent run simulates while the rest
+  // block on the entry's writer lock and then load what it published.
+  FileLock Lock(Cache.entryLockPath(Key));
+  bool LockHeld = false;
+  if (!Lock.path().empty()) {
+    FileLock::AcquireResult R = acquireCounted(Lock, Cache.LockOptions);
+    if (R) {
+      LockHeld = true;
+      // The previous holder may have published our key while we waited.
+      if (auto Db = TryLoad(/*Quiet=*/true))
+        return Db;
+    } else {
+      // Typed, visible fallback: simulate but do NOT store — whichever
+      // live writer holds the lock will publish the identical bytes.
+      std::cerr << "fgbs: measurement cache '" << Options.CacheDir << "' ("
+                << measurementCacheErrorName(MeasurementCacheError::LockTimeout)
+                << ": " << R.Message << "); simulating without storing\n";
+    }
   }
 
-  DatabaseOptions DbOptions;
-  DbOptions.Threads = Options.Threads;
-  auto Db = std::make_unique<MeasurementDatabase>(S, Reference, Targets,
-                                                  Options.Policy, DbOptions);
-  if (CacheOn) {
-    std::error_code Ec;
-    std::filesystem::create_directories(Options.CacheDir, Ec);
-    if (saveMeasurementsFile(Path, *Db, Key)) {
+  auto Db = Simulate();
+  if (LockHeld) {
+    Lock.heartbeat();
+    std::string Message;
+    MeasurementCacheError E = Cache.store(*Db, Key, /*EntryLockHeld=*/true,
+                                          &Message);
+    if (E == MeasurementCacheError::None) {
       FGBS_COUNTER_ADD("db.cache.stores", 1);
+      const std::uint64_t MaxBytes = Options.CacheMaxBytes
+                                         ? Options.CacheMaxBytes
+                                         : measurementCacheEnvMaxBytes();
+      if (MaxBytes || Options.CacheMaxAgeSeconds)
+        Cache.prune(MaxBytes, Options.CacheMaxAgeSeconds);
     } else {
       FGBS_COUNTER_ADD("db.cache.errors", 1);
-      std::cerr << "fgbs: cannot write measurement cache '" << Path << "'\n";
+      std::cerr << "fgbs: cannot store measurement cache entry ("
+                << measurementCacheErrorName(E) << ": " << Message << ")\n";
     }
   }
   return Db;

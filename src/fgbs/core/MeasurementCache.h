@@ -41,7 +41,9 @@
 #ifndef FGBS_CORE_MEASUREMENTCACHE_H
 #define FGBS_CORE_MEASUREMENTCACHE_H
 
+#include "fgbs/core/CacheBackend.h"
 #include "fgbs/core/Database.h"
+#include "fgbs/support/FileLock.h"
 
 #include <cstdint>
 #include <memory>
@@ -83,6 +85,7 @@ enum class MeasurementCacheError {
   KeyMismatch,        ///< Stored content key differs from the live inputs.
   Malformed,          ///< Structural damage: dimension or range mismatch.
   InvalidValue,       ///< Non-finite number where a finite one is required.
+  LockTimeout,        ///< Writer coordination lock could not be acquired.
 };
 
 /// Stable identifier for an error (warnings and tests key on it).
@@ -114,7 +117,10 @@ MeasurementLoadResult parseMeasurements(std::string_view Bytes,
                                         std::vector<Machine> Targets,
                                         std::uint64_t ExpectedKey);
 
-/// File wrappers around serialize/parse.
+/// File wrappers around serialize/parse.  Saving publishes atomically:
+/// the bytes land in a temp file next to \p Path (same filesystem, so
+/// the final rename is atomic) and readers never observe a partial
+/// file.
 bool saveMeasurementsFile(const std::string &Path,
                           const MeasurementDatabase &Db, std::uint64_t Key);
 MeasurementLoadResult loadMeasurementsFile(const std::string &Path,
@@ -122,8 +128,84 @@ MeasurementLoadResult loadMeasurementsFile(const std::string &Path,
                                            std::vector<Machine> Targets,
                                            std::uint64_t ExpectedKey);
 
+/// The per-directory manifest tracking size and last-use time of every
+/// cache entry (newest first).  Line-oriented text: a magic first line,
+/// then one "<atime-unix> <size-bytes> <name>" line per entry.  The
+/// manifest is advisory — a missing or damaged one falls back to a
+/// directory rescan (entry mtimes stand in for access times).
+inline constexpr char kMeasurementIndexName[] = "fgbs.meas.index.v1";
+
+/// Hits younger than this skip the manifest rewrite (relatime): a warm
+/// run's steady state costs one small read, never a write.
+inline constexpr std::int64_t kManifestRelatimeSeconds = 60;
+
+/// What prune() did.
+struct CachePruneStats {
+  std::size_t Entries = 0;        ///< Entries visible before pruning.
+  std::size_t Removed = 0;        ///< Entries deleted.
+  std::uint64_t BytesBefore = 0;  ///< Entry bytes before pruning.
+  std::uint64_t BytesAfter = 0;   ///< Entry bytes after pruning.
+  bool RebuiltFromScan = false;   ///< Manifest absent/corrupt; rescanned.
+  bool LockTimedOut = false;      ///< Manifest lock unavailable; no-op.
+};
+
+/// The measurement cache proper: a CacheBackend (a local directory
+/// today; the backend seam exists for the ROADMAP remote tier) plus the
+/// lifecycle logic — manifest bookkeeping, LRU/age eviction, and typed
+/// lock-coordinated stores.  Loads never lock: entries are published
+/// atomically, so a reader sees either nothing or a complete file.
+class MeasurementCache {
+public:
+  /// A cache over \p Dir via LocalDirBackend (created when missing).
+  explicit MeasurementCache(const std::string &Dir);
+  /// A cache over any backend (the remote-tier seam).
+  explicit MeasurementCache(std::unique_ptr<CacheBackend> Backend);
+
+  CacheBackend &backend() { return *BackendPtr; }
+
+  /// True when an entry for \p Key has been published.
+  bool exists(std::uint64_t Key) const;
+
+  /// Loads and validates the entry for \p Key; a successful load
+  /// refreshes the entry's manifest access time (relatime-throttled).
+  MeasurementLoadResult load(const Suite &S, Machine Reference,
+                             std::vector<Machine> Targets, std::uint64_t Key);
+
+  /// Serializes and atomically publishes \p Db under \p Key, updating
+  /// the manifest.  Unless \p EntryLockHeld says the caller already
+  /// holds the entry's writer lock, one is acquired here — and a lock
+  /// that cannot be had within LockOptions.TimeoutMs is the typed
+  /// LockTimeout error (nothing is written), never a silent fallback.
+  MeasurementCacheError store(const MeasurementDatabase &Db, std::uint64_t Key,
+                              bool EntryLockHeld = false,
+                              std::string *Message = nullptr);
+
+  /// Evicts least-recently-used entries until the cache holds at most
+  /// \p MaxBytes of entries (0 = unbounded) and none older than
+  /// \p MaxAgeSeconds (0 = unbounded).  Runs under the manifest lock;
+  /// heals a corrupt manifest from a directory rescan as a side effect.
+  CachePruneStats prune(std::uint64_t MaxBytes, std::uint64_t MaxAgeSeconds);
+
+  /// Where the writer lock for \p Key's entry lives (empty = backend
+  /// needs no locking).
+  std::string entryLockPath(std::uint64_t Key) const;
+
+  /// Writer-coordination knobs.  Manifest updates use a short slice of
+  /// this budget; entry stores use all of it.
+  FileLock::Options LockOptions;
+
+private:
+  void touchEntry(const std::string &Name, std::uint64_t SizeBytes);
+
+  std::unique_ptr<CacheBackend> BackendPtr;
+};
+
+/// The FGBS_MEAS_CACHE_MAX_BYTES default byte budget (0 when unset or
+/// unparseable).
+std::uint64_t measurementCacheEnvMaxBytes();
+
 /// How buildMeasurementDatabase() runs: thread fan-out plus the on-disk
-/// cache location.
+/// cache location and lifecycle.
 struct DatabaseBuildOptions {
   /// Measurement threads (DatabaseOptions semantics: 0 = auto).
   unsigned Threads = 0;
@@ -133,6 +215,16 @@ struct DatabaseBuildOptions {
   /// Master cache switch (--no-cache): false never reads or writes the
   /// cache even when CacheDir is set.
   bool UseCache = true;
+  /// How long a cold run waits on the per-entry writer lock before
+  /// giving up and simulating without storing (0 = auto: the
+  /// FGBS_MEAS_CACHE_LOCK_MS environment variable, else 10 minutes).
+  std::uint64_t LockTimeoutMs = 0;
+  /// Entry-byte budget auto-pruned after a store (0 = auto: the
+  /// FGBS_MEAS_CACHE_MAX_BYTES environment variable, else unbounded).
+  std::uint64_t CacheMaxBytes = 0;
+  /// Maximum entry age in seconds, enforced alongside the byte budget
+  /// (0 = unbounded).
+  std::uint64_t CacheMaxAgeSeconds = 0;
   /// Timing policy forwarded to the standalone measurements (part of
   /// the content key).
   TimingPolicy Policy;
@@ -142,9 +234,19 @@ struct DatabaseBuildOptions {
 /// serving it from \p Options.CacheDir when a file with the matching
 /// content key exists there, and re-simulating (then storing) otherwise.
 /// Load failures warn on stderr and fall back to simulation; store
-/// failures warn and are otherwise ignored.  Counters (when telemetry
-/// is on): db.cache.hits / db.cache.misses / db.cache.stores /
-/// db.cache.errors.
+/// failures warn and are otherwise ignored.
+///
+/// Concurrent cold runs against one directory coordinate through a
+/// per-entry FileLock: exactly one simulates and publishes while the
+/// others block (backoff + Options.LockTimeoutMs deadline) and then
+/// load the freshly published entry instead of re-simulating.  A run
+/// whose lock wait times out warns with the typed lock_timeout error,
+/// simulates, and skips the store (the live holder will publish the
+/// identical bytes).  When a byte/age budget is configured the cache is
+/// LRU-pruned after a store.
+///
+/// Counters (when telemetry is on): db.cache.{hits,misses,stores,
+/// errors,evictions} and db.cache.lock.{acquired,waited_ms,timeouts}.
 std::unique_ptr<MeasurementDatabase>
 buildMeasurementDatabase(const Suite &S, Machine Reference,
                          std::vector<Machine> Targets,

@@ -122,6 +122,14 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return Out;
 }
 
+std::uint64_t obs::counterTotal(const std::string &Name) {
+  // Deliberately read-only: going through counter(Name) would register
+  // a zero-valued metric that then pollutes every exported report.
+  MetricsSnapshot S = MetricsRegistry::global().snapshot();
+  auto It = S.Counters.find(Name);
+  return It == S.Counters.end() ? 0 : It->second;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> Lock(Mutex);
   for (const auto &[Name, C] : Counters)

@@ -181,6 +181,12 @@ private:
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
 };
 
+/// Current total of the named counter (0 when it was never recorded).
+/// Snapshot-free single-metric read for tests and status printouts —
+/// e.g. asserting exactly one of N racing processes bumped
+/// "db.cache.stores".
+std::uint64_t counterTotal(const std::string &Name);
+
 // Convenience macros: one registry lookup on first enabled pass, then a
 // cached handle; a branch-plus-nothing when telemetry is disabled.
 #define FGBS_OBS_CONCAT_IMPL(A, B) A##B

@@ -1,0 +1,361 @@
+//===- tests/cache_lifecycle_test.cpp - cache locking + eviction ----------===//
+//
+// The measurement cache's lifecycle layer: the fgbs.meas.index.v1
+// manifest, LRU/age eviction, atomic publish, typed lock-timeout
+// stores, and the cross-process single-simulation guarantee of
+// buildMeasurementDatabase.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/core/MeasurementCache.h"
+
+#include "fgbs/obs/Metrics.h"
+#include "fgbs/suites/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace fgbs;
+
+namespace {
+
+SyntheticConfig tinyConfig() {
+  SyntheticConfig Cfg;
+  Cfg.NumApplications = 1;
+  Cfg.CodeletsPerApp = 3;
+  Cfg.MinFootprintBytes = 64 << 10;
+  Cfg.MaxFootprintBytes = 1 << 20;
+  return Cfg;
+}
+
+/// A scratch directory unique to the running test, removed on scope
+/// exit.
+struct TempDir {
+  std::filesystem::path Path;
+  explicit TempDir(const std::string &Name)
+      : Path(std::filesystem::temp_directory_path() /
+             ("fgbs_lifecycle_test_" + Name)) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+};
+
+/// Shared tiny database; simulated once for the whole binary.
+class CacheLifecycleTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    TheSuite = new Suite(makeSyntheticSuite(tinyConfig()));
+    Targets = {makeAtom()};
+    Db = new MeasurementDatabase(*TheSuite, makeNehalem(), Targets);
+    Key = measurementKey(*TheSuite, makeNehalem(), Targets);
+  }
+  static void TearDownTestSuite() {
+    delete Db;
+    delete TheSuite;
+    Db = nullptr;
+    TheSuite = nullptr;
+  }
+
+  static Suite *TheSuite;
+  static std::vector<Machine> Targets;
+  static MeasurementDatabase *Db;
+  static std::uint64_t Key;
+};
+
+Suite *CacheLifecycleTest::TheSuite = nullptr;
+std::vector<Machine> CacheLifecycleTest::Targets;
+MeasurementDatabase *CacheLifecycleTest::Db = nullptr;
+std::uint64_t CacheLifecycleTest::Key = 0;
+
+std::string manifestPath(const TempDir &Dir) {
+  return (Dir.Path / kMeasurementIndexName).string();
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::int64_t nowSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Writes a well-formed manifest with caller-chosen access times —
+/// exactly what a long-lived cache directory accumulates over time.
+void writeManifest(const TempDir &Dir,
+                   const std::vector<CacheEntry> &Entries) {
+  std::ofstream Out(manifestPath(Dir), std::ios::trunc);
+  Out << kMeasurementIndexName << "\n";
+  for (const CacheEntry &E : Entries)
+    Out << E.AccessUnixSeconds << " " << E.SizeBytes << " " << E.Name << "\n";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Atomic publish + manifest bookkeeping
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheLifecycleTest, StorePublishesAtomicallyAndLeavesNoTempFiles) {
+  TempDir Dir("atomic");
+  MeasurementCache Cache(Dir.Path.string());
+  ASSERT_EQ(Cache.store(*Db, Key), MeasurementCacheError::None);
+  EXPECT_TRUE(Cache.exists(Key));
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir.Path))
+    EXPECT_EQ(Entry.path().string().find(".tmp."), std::string::npos)
+        << Entry.path();
+  // The manifest records the entry with its true size.
+  std::string Manifest = readFile(manifestPath(Dir));
+  EXPECT_NE(Manifest.find(measurementCacheFileName(Key)), std::string::npos);
+  const std::uint64_t Size =
+      std::filesystem::file_size(Dir.Path / measurementCacheFileName(Key));
+  EXPECT_NE(Manifest.find(std::to_string(Size)), std::string::npos);
+}
+
+TEST_F(CacheLifecycleTest, LoadRoundTripsThroughTheBackend) {
+  TempDir Dir("roundtrip");
+  MeasurementCache Cache(Dir.Path.string());
+  ASSERT_EQ(Cache.store(*Db, Key), MeasurementCacheError::None);
+  MeasurementLoadResult R = Cache.load(*TheSuite, makeNehalem(), Targets, Key);
+  ASSERT_TRUE(R) << measurementCacheErrorName(R.Error) << ": " << R.Message;
+  EXPECT_EQ(serializeMeasurements(*R.Db, Key), serializeMeasurements(*Db, Key));
+  // An absent key is the typed Io error, not undefined behaviour.
+  MeasurementLoadResult Missing =
+      Cache.load(*TheSuite, makeNehalem(), Targets, Key + 1);
+  EXPECT_FALSE(Missing);
+  EXPECT_EQ(Missing.Error, MeasurementCacheError::Io);
+}
+
+TEST_F(CacheLifecycleTest, SaveMeasurementsFileLeavesNoTempBehind) {
+  TempDir Dir("plain_save");
+  std::string Path = (Dir.Path / "direct.v1").string();
+  ASSERT_TRUE(saveMeasurementsFile(Path, *Db, Key));
+  MeasurementLoadResult R =
+      loadMeasurementsFile(Path, *TheSuite, makeNehalem(), Targets, Key);
+  EXPECT_TRUE(R) << R.Message;
+  std::size_t Files = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir.Path)) {
+    (void)Entry;
+    ++Files;
+  }
+  EXPECT_EQ(Files, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheLifecycleTest, PruneKeepsTheMostRecentlyUsedEntries) {
+  TempDir Dir("lru");
+  MeasurementCache Cache(Dir.Path.string());
+  // Five distinct keys over the same payload bytes (store() stamps the
+  // key it is given; only the file names and manifest rows differ).
+  std::vector<std::uint64_t> Keys = {Key, Key + 1, Key + 2, Key + 3, Key + 4};
+  for (std::uint64_t K : Keys)
+    ASSERT_EQ(Cache.store(*Db, K), MeasurementCacheError::None);
+  const std::uint64_t EntryBytes = std::filesystem::file_size(
+      Dir.Path / measurementCacheFileName(Keys[0]));
+
+  // Ascending access times: Keys[4] is the most recently used.
+  std::vector<CacheEntry> Entries;
+  const std::int64_t Now = nowSeconds();
+  for (std::size_t I = 0; I < Keys.size(); ++I)
+    Entries.push_back({measurementCacheFileName(Keys[I]), EntryBytes,
+                       Now - 1000 + static_cast<std::int64_t>(100 * I)});
+  writeManifest(Dir, Entries);
+
+  // Budget for exactly two entries: the two newest survive.
+  CachePruneStats Stats = Cache.prune(2 * EntryBytes + EntryBytes / 2, 0);
+  EXPECT_FALSE(Stats.LockTimedOut);
+  EXPECT_FALSE(Stats.RebuiltFromScan);
+  EXPECT_EQ(Stats.Entries, Keys.size());
+  EXPECT_EQ(Stats.Removed, Keys.size() - 2);
+  EXPECT_EQ(Stats.BytesAfter, 2 * EntryBytes);
+  EXPECT_LE(Stats.BytesAfter, 2 * EntryBytes + EntryBytes / 2);
+  EXPECT_FALSE(Cache.exists(Keys[0]));
+  EXPECT_FALSE(Cache.exists(Keys[1]));
+  EXPECT_FALSE(Cache.exists(Keys[2]));
+  EXPECT_TRUE(Cache.exists(Keys[3]));
+  EXPECT_TRUE(Cache.exists(Keys[4]));
+}
+
+TEST_F(CacheLifecycleTest, PruneEvictsEntriesPastTheAgeBound) {
+  TempDir Dir("age");
+  MeasurementCache Cache(Dir.Path.string());
+  ASSERT_EQ(Cache.store(*Db, Key), MeasurementCacheError::None);
+  ASSERT_EQ(Cache.store(*Db, Key + 1), MeasurementCacheError::None);
+  const std::uint64_t EntryBytes = std::filesystem::file_size(
+      Dir.Path / measurementCacheFileName(Key));
+
+  const std::int64_t Now = nowSeconds();
+  writeManifest(Dir, {{measurementCacheFileName(Key), EntryBytes, Now - 10},
+                      {measurementCacheFileName(Key + 1), EntryBytes,
+                       Now - 100000}});
+  CachePruneStats Stats = Cache.prune(0, /*MaxAgeSeconds=*/3600);
+  EXPECT_EQ(Stats.Removed, 1u);
+  EXPECT_TRUE(Cache.exists(Key));
+  EXPECT_FALSE(Cache.exists(Key + 1));
+}
+
+TEST_F(CacheLifecycleTest, CorruptManifestFallsBackToDirectoryRescan) {
+  TempDir Dir("corrupt_manifest");
+  MeasurementCache Cache(Dir.Path.string());
+  for (std::uint64_t K : {Key, Key + 1, Key + 2})
+    ASSERT_EQ(Cache.store(*Db, K), MeasurementCacheError::None);
+  std::ofstream(manifestPath(Dir), std::ios::trunc)
+      << "this is not a manifest\n\x01\x02 garbage";
+
+  // An unbounded prune over the damaged manifest removes nothing, scans
+  // the directory instead, and heals the manifest on the way out.
+  CachePruneStats Stats = Cache.prune(0, 0);
+  EXPECT_TRUE(Stats.RebuiltFromScan);
+  EXPECT_EQ(Stats.Entries, 3u);
+  EXPECT_EQ(Stats.Removed, 0u);
+  for (std::uint64_t K : {Key, Key + 1, Key + 2})
+    EXPECT_TRUE(Cache.exists(K));
+  std::string Healed = readFile(manifestPath(Dir));
+  EXPECT_EQ(Healed.find("garbage"), std::string::npos);
+  EXPECT_NE(Healed.find(measurementCacheFileName(Key)), std::string::npos);
+
+  // The healed manifest is authoritative again: a byte-budget prune
+  // now bounds the directory without a rescan.
+  const std::uint64_t EntryBytes = std::filesystem::file_size(
+      Dir.Path / measurementCacheFileName(Key));
+  CachePruneStats Bounded = Cache.prune(EntryBytes, 0);
+  EXPECT_FALSE(Bounded.RebuiltFromScan);
+  EXPECT_EQ(Bounded.Removed, 2u);
+  EXPECT_LE(Bounded.BytesAfter, EntryBytes);
+}
+
+TEST_F(CacheLifecycleTest, PruneToOneByteEmptiesTheCache) {
+  TempDir Dir("one_byte");
+  MeasurementCache Cache(Dir.Path.string());
+  ASSERT_EQ(Cache.store(*Db, Key), MeasurementCacheError::None);
+  CachePruneStats Stats = Cache.prune(1, 0);
+  EXPECT_EQ(Stats.Removed, 1u);
+  EXPECT_EQ(Stats.BytesAfter, 0u);
+  EXPECT_FALSE(Cache.exists(Key));
+}
+
+//===----------------------------------------------------------------------===//
+// Typed lock errors
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheLifecycleTest, StoreReportsLockTimeoutWhileEntryLockIsHeld) {
+  TempDir Dir("lock_timeout");
+  MeasurementCache Cache(Dir.Path.string());
+  Cache.LockOptions.TimeoutMs = 60;
+  Cache.LockOptions.InitialBackoffMs = 1;
+
+  FileLock Holder(Cache.entryLockPath(Key));
+  ASSERT_TRUE(Holder.acquire());
+  std::string Message;
+  EXPECT_EQ(Cache.store(*Db, Key, /*EntryLockHeld=*/false, &Message),
+            MeasurementCacheError::LockTimeout);
+  EXPECT_FALSE(Message.empty());
+  EXPECT_FALSE(Cache.exists(Key)) << "a timed-out store must write nothing";
+  EXPECT_STREQ(measurementCacheErrorName(MeasurementCacheError::LockTimeout),
+               "lock_timeout");
+
+  // A caller that already holds the entry lock stores through it.
+  EXPECT_EQ(Cache.store(*Db, Key, /*EntryLockHeld=*/true),
+            MeasurementCacheError::None);
+  EXPECT_TRUE(Cache.exists(Key));
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-process cold-run coordination
+//===----------------------------------------------------------------------===//
+
+TEST_F(CacheLifecycleTest, ConcurrentForkedColdBuildsSimulateExactlyOnce) {
+  TempDir Dir("fork_race");
+  constexpr int NumChildren = 3;
+
+  std::vector<pid_t> Children;
+  for (int C = 0; C < NumChildren; ++C) {
+    pid_t Pid = ::fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Child: one cold buildMeasurementDatabase against the shared
+      // directory, then report what happened through its own counters.
+      obs::MetricsRegistry::global().reset();
+      obs::setEnabled(true);
+      DatabaseBuildOptions Options;
+      Options.CacheDir = Dir.Path.string();
+      auto Built =
+          buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets, Options);
+      if (!Built)
+        ::_exit(2);
+      std::string Bytes = serializeMeasurements(*Built, Key);
+      std::ofstream Out(Dir.Path / ("child-" + std::to_string(C)),
+                        std::ios::trunc);
+      Out << obs::counterTotal("db.cache.stores") << " "
+          << obs::counterTotal("db.cache.hits") << " "
+          << obs::counterTotal("sim.execute") << " " << Bytes.size() << "\n";
+      Out.flush();
+      ::_exit(Out ? 0 : 2);
+    }
+    Children.push_back(Pid);
+  }
+  for (pid_t Pid : Children) {
+    int St = 0;
+    ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+  }
+
+  std::uint64_t TotalStores = 0, TotalHits = 0, SimulatingChildren = 0;
+  std::vector<std::uint64_t> Sizes;
+  for (int C = 0; C < NumChildren; ++C) {
+    std::ifstream In(Dir.Path / ("child-" + std::to_string(C)));
+    std::uint64_t Stores = 0, Hits = 0, Sims = 0, Size = 0;
+    ASSERT_TRUE(In >> Stores >> Hits >> Sims >> Size);
+    TotalStores += Stores;
+    TotalHits += Hits;
+    SimulatingChildren += Sims > 0 ? 1 : 0;
+    Sizes.push_back(Size);
+  }
+  // The contention guarantee: one simulation and one store across the
+  // fleet, everyone else loads, and every child ends with the same
+  // database bytes.
+  EXPECT_EQ(TotalStores, 1u);
+  EXPECT_EQ(SimulatingChildren, 1u);
+  EXPECT_EQ(TotalHits, static_cast<std::uint64_t>(NumChildren) - 1);
+  for (std::uint64_t Size : Sizes)
+    EXPECT_EQ(Size, Sizes.front());
+  // And the published entry is loadable by a fresh process.
+  MeasurementCache Cache(Dir.Path.string());
+  EXPECT_TRUE(Cache.exists(Key));
+}
+
+TEST_F(CacheLifecycleTest, BuildAutoPrunesWhenAByteBudgetIsConfigured) {
+  TempDir Dir("auto_prune");
+  // Seed an older entry under a different key, then build with a budget
+  // only big enough for one entry: the store must evict the older one.
+  MeasurementCache Cache(Dir.Path.string());
+  ASSERT_EQ(Cache.store(*Db, Key + 99), MeasurementCacheError::None);
+  const std::uint64_t EntryBytes = std::filesystem::file_size(
+      Dir.Path / measurementCacheFileName(Key + 99));
+  writeManifest(Dir, {{measurementCacheFileName(Key + 99), EntryBytes,
+                       nowSeconds() - 5000}});
+
+  DatabaseBuildOptions Options;
+  Options.CacheDir = Dir.Path.string();
+  Options.CacheMaxBytes = EntryBytes + EntryBytes / 2;
+  auto Built =
+      buildMeasurementDatabase(*TheSuite, makeNehalem(), Targets, Options);
+  ASSERT_TRUE(Built);
+  EXPECT_TRUE(Cache.exists(Key)) << "the fresh entry survives the prune";
+  EXPECT_FALSE(Cache.exists(Key + 99)) << "the LRU entry is evicted";
+}

@@ -1,0 +1,259 @@
+//===- tests/file_lock_test.cpp - support/FileLock ------------------------===//
+//
+// The cross-process lock under the measurement cache: mutual exclusion
+// across threads and forked processes, timeout behaviour, and
+// stale-sentinel recovery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/support/FileLock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace fgbs;
+
+namespace {
+
+/// A scratch directory unique to the running test, removed on scope
+/// exit.
+struct TempDir {
+  std::filesystem::path Path;
+  explicit TempDir(const std::string &Name)
+      : Path(std::filesystem::temp_directory_path() /
+             ("fgbs_lock_test_" + Name)) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+
+  std::string file(const std::string &Name) const {
+    return (Path / Name).string();
+  }
+};
+
+FileLock::Options fastOptions() {
+  FileLock::Options O;
+  O.TimeoutMs = 10000;
+  O.InitialBackoffMs = 1;
+  O.MaxBackoffMs = 5;
+  return O;
+}
+
+} // namespace
+
+TEST(FileLockTest, AcquireReleaseRoundTrip) {
+  TempDir Dir("roundtrip");
+  FileLock Lock(Dir.file("x.lock"));
+  EXPECT_FALSE(Lock.held());
+  FileLock::AcquireResult R = Lock.acquire(fastOptions());
+  ASSERT_TRUE(R) << R.Message;
+  EXPECT_TRUE(Lock.held());
+  EXPECT_FALSE(R.BrokeStaleLock);
+  Lock.release();
+  EXPECT_FALSE(Lock.held());
+  // Re-acquirable after release.
+  EXPECT_TRUE(Lock.acquire(fastOptions()));
+}
+
+TEST(FileLockTest, EmptyPathIsANoOpLock) {
+  FileLock Lock("");
+  FileLock::AcquireResult R = Lock.acquire(fastOptions());
+  EXPECT_TRUE(R);
+  EXPECT_TRUE(Lock.held());
+  Lock.release();
+}
+
+TEST(FileLockTest, SecondHolderTimesOutWhileHeld) {
+  TempDir Dir("timeout");
+  FileLock First(Dir.file("x.lock"));
+  ASSERT_TRUE(First.acquire(fastOptions()));
+
+  FileLock Second(Dir.file("x.lock"));
+  EXPECT_FALSE(Second.tryAcquire(fastOptions()));
+  FileLock::Options Short = fastOptions();
+  Short.TimeoutMs = 60;
+  FileLock::AcquireResult R = Second.acquire(Short);
+  EXPECT_EQ(R.St, FileLock::Status::Timeout);
+  EXPECT_GE(R.WaitedMs, Short.TimeoutMs);
+  EXPECT_FALSE(Second.held());
+
+  // Release frees the waiter immediately.
+  First.release();
+  EXPECT_TRUE(Second.acquire(fastOptions()));
+}
+
+TEST(FileLockTest, MultiThreadMutualExclusion) {
+  TempDir Dir("threads");
+  const std::string LockPath = Dir.file("x.lock");
+  constexpr int NumThreads = 6;
+  constexpr int Increments = 25;
+
+  // The guarded resource is a deliberately non-atomic counter; without
+  // mutual exclusion the read-modify-write cycles interleave and the
+  // final count falls short.
+  long Counter = 0;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < Increments; ++I) {
+        FileLock Lock(LockPath);
+        FileLock::AcquireResult R = Lock.acquire(fastOptions());
+        ASSERT_TRUE(R) << R.Message;
+        long V = Counter;
+        std::this_thread::yield();
+        Counter = V + 1;
+        Lock.release();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter, static_cast<long>(NumThreads) * Increments);
+}
+
+TEST(FileLockTest, ForkedProcessMutualExclusion) {
+  TempDir Dir("fork");
+  const std::string LockPath = Dir.file("x.lock");
+  const std::string CounterPath = Dir.file("counter");
+  {
+    std::ofstream(CounterPath) << 0 << "\n";
+  }
+
+  constexpr int NumChildren = 4;
+  constexpr int Increments = 10;
+  std::vector<pid_t> Children;
+  for (int C = 0; C < NumChildren; ++C) {
+    pid_t Pid = ::fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Child: lock, read-increment-rewrite the counter file, unlock.
+      for (int I = 0; I < Increments; ++I) {
+        FileLock Lock(LockPath);
+        if (!Lock.acquire(fastOptions()))
+          ::_exit(2);
+        long V = 0;
+        {
+          std::ifstream In(CounterPath);
+          In >> V;
+        }
+        {
+          std::ofstream Out(CounterPath, std::ios::trunc);
+          Out << V + 1 << "\n";
+        }
+        Lock.release();
+      }
+      ::_exit(0);
+    }
+    Children.push_back(Pid);
+  }
+  for (pid_t Pid : Children) {
+    int St = 0;
+    ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+    EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+  }
+  long Final = -1;
+  std::ifstream(CounterPath) >> Final;
+  EXPECT_EQ(Final, static_cast<long>(NumChildren) * Increments);
+}
+
+TEST(FileLockTest, SentinelStaleDeadPidIsBroken) {
+  TempDir Dir("stale_pid");
+  const std::string LockPath = Dir.file("x.lock");
+
+  // A child takes the sentinel lock and dies without releasing (as a
+  // crashed writer would); _exit skips the destructor on purpose.
+  FileLock::Options Sentinel = fastOptions();
+  Sentinel.LockMode = FileLock::Mode::Exclusive;
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    FileLock Lock(LockPath);
+    ::_exit(Lock.acquire(Sentinel) ? 0 : 2);
+  }
+  int St = 0;
+  ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+  ASSERT_TRUE(std::filesystem::exists(LockPath));
+
+  // The owner pid is dead, so the sentinel is stale regardless of age.
+  FileLock Lock(LockPath);
+  Sentinel.TimeoutMs = 5000;
+  Sentinel.StaleAfterMs = 1000 * 60 * 60;
+  FileLock::AcquireResult R = Lock.acquire(Sentinel);
+  ASSERT_TRUE(R) << R.Message;
+  EXPECT_TRUE(R.BrokeStaleLock);
+}
+
+TEST(FileLockTest, SentinelUnknownOwnerGoesStaleByMtime) {
+  TempDir Dir("stale_mtime");
+  const std::string LockPath = Dir.file("x.lock");
+  // A sentinel whose owner cannot be determined (garbage content, e.g.
+  // a writer that died between create and write).
+  std::ofstream(LockPath) << "not a pid line\n";
+
+  FileLock::Options Sentinel = fastOptions();
+  Sentinel.LockMode = FileLock::Mode::Exclusive;
+  Sentinel.StaleAfterMs = 10;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  FileLock Lock(LockPath);
+  FileLock::AcquireResult R = Lock.acquire(Sentinel);
+  ASSERT_TRUE(R) << R.Message;
+  EXPECT_TRUE(R.BrokeStaleLock);
+
+  // While the heartbeat window is still open the same file is NOT
+  // stale: a fresh unknown-owner sentinel blocks a short acquire.
+  Lock.release();
+  std::ofstream(LockPath) << "not a pid line\n";
+  Sentinel.StaleAfterMs = 1000 * 60 * 60;
+  Sentinel.TimeoutMs = 60;
+  FileLock Blocked(LockPath);
+  EXPECT_EQ(Blocked.acquire(Sentinel).St, FileLock::Status::Timeout);
+}
+
+TEST(FileLockTest, SentinelReleaseUnlinksAndHeartbeatRefreshes) {
+  TempDir Dir("sentinel_release");
+  const std::string LockPath = Dir.file("x.lock");
+  FileLock::Options Sentinel = fastOptions();
+  Sentinel.LockMode = FileLock::Mode::Exclusive;
+
+  FileLock Lock(LockPath);
+  ASSERT_TRUE(Lock.acquire(Sentinel));
+  struct stat Before;
+  ASSERT_EQ(::stat(LockPath.c_str(), &Before), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Lock.heartbeat();
+  struct stat After;
+  ASSERT_EQ(::stat(LockPath.c_str(), &After), 0);
+  EXPECT_TRUE(After.st_mtim.tv_sec > Before.st_mtim.tv_sec ||
+              (After.st_mtim.tv_sec == Before.st_mtim.tv_sec &&
+               After.st_mtim.tv_nsec > Before.st_mtim.tv_nsec));
+
+  // Sentinel release removes the file (existence IS the lock); a new
+  // acquire succeeds instantly without breaking anything.
+  Lock.release();
+  EXPECT_FALSE(std::filesystem::exists(LockPath));
+  FileLock Next(LockPath);
+  FileLock::AcquireResult R = Next.acquire(Sentinel);
+  EXPECT_TRUE(R);
+  EXPECT_FALSE(R.BrokeStaleLock);
+}
+
+TEST(FileLockTest, FlockModeLeavesTheFileOnRelease) {
+  TempDir Dir("flock_release");
+  const std::string LockPath = Dir.file("x.lock");
+  FileLock Lock(LockPath);
+  ASSERT_TRUE(Lock.acquire(fastOptions()));
+  Lock.release();
+  // Deliberate: unlinking a flock file would allow the two-inode race.
+  EXPECT_TRUE(std::filesystem::exists(LockPath));
+}

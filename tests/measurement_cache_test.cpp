@@ -244,6 +244,13 @@ TEST_F(MeasurementCacheTest, MissingFileIsIo) {
   EXPECT_EQ(R.Error, MeasurementCacheError::Io);
 }
 
+TEST_F(MeasurementCacheTest, EveryErrorHasAStableName) {
+  EXPECT_STREQ(measurementCacheErrorName(MeasurementCacheError::None), "none");
+  EXPECT_STREQ(measurementCacheErrorName(MeasurementCacheError::Io), "io");
+  EXPECT_STREQ(measurementCacheErrorName(MeasurementCacheError::LockTimeout),
+               "lock_timeout");
+}
+
 //===----------------------------------------------------------------------===//
 // Content key
 //===----------------------------------------------------------------------===//

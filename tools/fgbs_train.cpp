@@ -10,10 +10,14 @@
 //
 //   fgbs_train --suite nr|nas|synthetic --out model.fgbs [--k N]
 //              [--threads N] [--cache DIR | --no-cache]
+//              [--cache-max-bytes N] [--cache-max-age SECONDS]
+//   fgbs_train --cache DIR --cache-prune [--cache-max-bytes N]
+//              [--cache-max-age SECONDS]
 //
 // Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON like every
-// other FGBS surface, plus FGBS_THREADS (default measurement fan-out)
-// and FGBS_MEAS_CACHE (default measurement-cache directory).
+// other FGBS surface, plus FGBS_THREADS (default measurement fan-out),
+// FGBS_MEAS_CACHE (default measurement-cache directory), and
+// FGBS_MEAS_CACHE_MAX_BYTES (default cache byte budget).
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +41,9 @@ constexpr const char *kVersion = "fgbs_train (fgbs.model.v1 writer) 1.0";
 int usage(std::ostream &OS, int Exit) {
   OS << "usage: fgbs_train --suite nr|nas|synthetic --out PATH [--k N]\n"
         "                  [--threads N] [--cache DIR | --no-cache]\n"
+        "                  [--cache-max-bytes N] [--cache-max-age SEC]\n"
+        "       fgbs_train --cache DIR --cache-prune\n"
+        "                  [--cache-max-bytes N] [--cache-max-age SEC]\n"
         "\n"
         "Runs the benchmark-subsetting pipeline over the chosen suite on\n"
         "the reference machine and writes an fgbs.model.v1 snapshot that\n"
@@ -52,12 +59,32 @@ int usage(std::ostream &OS, int Exit) {
         "  --cache DIR    measurement-cache directory: a warm run loads\n"
         "                 the finished fgbs.meas.v1 database from DIR and\n"
         "                 skips simulation entirely (default: the\n"
-        "                 FGBS_MEAS_CACHE environment variable)\n"
+        "                 FGBS_MEAS_CACHE environment variable).  Safe\n"
+        "                 under concurrent cold runs: one simulates and\n"
+        "                 publishes, the rest wait and load\n"
         "  --no-cache     never read or write the measurement cache, even\n"
         "                 when FGBS_MEAS_CACHE is set\n"
+        "  --cache-max-bytes N\n"
+        "                 cache entry-byte budget, LRU-pruned after each\n"
+        "                 store (default: FGBS_MEAS_CACHE_MAX_BYTES, else\n"
+        "                 unbounded)\n"
+        "  --cache-max-age SEC\n"
+        "                 evict entries unused for more than SEC seconds\n"
+        "                 (default: unbounded)\n"
+        "  --cache-prune  prune the cache directory to the configured\n"
+        "                 budgets and exit without training\n"
         "  --help         print this help and exit\n"
         "  --version      print the tool version and exit\n";
   return Exit;
+}
+
+bool parseU64(const char *Text, std::uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
 }
 
 } // namespace
@@ -66,6 +93,7 @@ int main(int argc, char **argv) {
   std::string SuiteName = "nr";
   std::string OutPath;
   unsigned K = 0;
+  bool PruneOnly = false;
   DatabaseBuildOptions Build;
   if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
     Build.CacheDir = Dir;
@@ -102,11 +130,49 @@ int main(int argc, char **argv) {
       Build.CacheDir = argv[++I];
     } else if (Arg == "--no-cache") {
       Build.UseCache = false;
+    } else if (Arg == "--cache-max-bytes" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Build.CacheMaxBytes)) {
+        std::cerr << "fgbs_train: --cache-max-bytes needs a byte count\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--cache-max-age" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Build.CacheMaxAgeSeconds)) {
+        std::cerr << "fgbs_train: --cache-max-age needs a second count\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--cache-prune") {
+      PruneOnly = true;
     } else {
       std::cerr << "fgbs_train: unknown argument '" << Arg << "'\n";
       return usage(std::cerr, 2);
     }
   }
+
+  if (PruneOnly) {
+    if (Build.CacheDir.empty()) {
+      std::cerr << "fgbs_train: --cache-prune needs a cache directory "
+                   "(--cache DIR or FGBS_MEAS_CACHE)\n";
+      return usage(std::cerr, 2);
+    }
+    MeasurementCache Cache(Build.CacheDir);
+    std::uint64_t MaxBytes = Build.CacheMaxBytes
+                                 ? Build.CacheMaxBytes
+                                 : measurementCacheEnvMaxBytes();
+    CachePruneStats Stats = Cache.prune(MaxBytes, Build.CacheMaxAgeSeconds);
+    if (Stats.LockTimedOut) {
+      std::cerr << "fgbs_train: cache '" << Build.CacheDir
+                << "' is busy (manifest lock timeout); nothing pruned\n";
+      return 1;
+    }
+    std::cout << "pruned '" << Build.CacheDir << "': " << Stats.Removed
+              << " of " << Stats.Entries << " entries evicted, "
+              << Stats.BytesBefore << " -> " << Stats.BytesAfter << " bytes"
+              << (Stats.RebuiltFromScan ? " (manifest rebuilt from scan)"
+                                        : "")
+              << "\n";
+    return 0;
+  }
+
   if (OutPath.empty()) {
     std::cerr << "fgbs_train: --out is required\n";
     return usage(std::cerr, 2);
