@@ -8,6 +8,7 @@
 #include "fgbs/core/CacheBackend.h"
 
 #include <atomic>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
@@ -18,6 +19,21 @@
 using namespace fgbs;
 
 namespace fs = std::filesystem;
+
+WriterLock::Result FileWriterLock::acquire(const FileLock::Options &O) {
+  FileLock::AcquireResult R = Lock.acquire(O);
+  Result Out;
+  Out.Acquired = static_cast<bool>(R);
+  Out.TimedOut = R.St == FileLock::Status::Timeout;
+  Out.WaitedMs = R.WaitedMs;
+  Out.Message = std::move(R.Message);
+  return Out;
+}
+
+std::unique_ptr<WriterLock>
+CacheBackend::writerLock(const std::string &Name) {
+  return std::make_unique<FileWriterLock>(lockPath(Name));
+}
 
 bool fgbs::atomicWriteFile(const std::string &Path, std::string_view Bytes) {
   // Unique per process AND per call so two stores of one name never
@@ -96,12 +112,25 @@ std::vector<CacheEntry> LocalDirBackend::scan(const std::string &Prefix,
   fs::directory_iterator It(Dir, Ec), End;
   if (Ec)
     return Out;
+  const std::time_t Now = std::time(nullptr);
   for (; It != End; It.increment(Ec)) {
     if (Ec)
       break;
     if (!It->is_regular_file(Ec))
       continue;
     std::string Name = It->path().filename().string();
+    // atomicWriteFile() temp files are never entries, whatever the
+    // filters say: a crashed writer's leftovers must not be loaded,
+    // counted against byte budgets, or adopted by a manifest rescan.
+    // Old ones are debris (no live writer renames after an hour) and
+    // are swept here, the one place that already walks the directory.
+    if (Name.find(".tmp.") != std::string::npos) {
+      struct stat TempSt;
+      if (::stat(It->path().c_str(), &TempSt) == 0 &&
+          Now - TempSt.st_mtime > kStaleTempFileSeconds)
+        fs::remove(It->path(), Ec);
+      continue;
+    }
     if (Name.size() < Prefix.size() + Suffix.size() ||
         Name.compare(0, Prefix.size(), Prefix) != 0 ||
         Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)

@@ -26,7 +26,10 @@
 #ifndef FGBS_CORE_CACHEBACKEND_H
 #define FGBS_CORE_CACHEBACKEND_H
 
+#include "fgbs/support/FileLock.h"
+
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +43,56 @@ struct CacheEntry {
   /// Last-use time (unix seconds).  scan() reports the storage-level
   /// modification time; the manifest layer overlays true access times.
   std::int64_t AccessUnixSeconds = 0;
+};
+
+/// Writer election for one named entry — the abstraction over "who gets
+/// to simulate and publish".  LocalDirBackend hands out FileLock-backed
+/// locks (per-host, crash-released by the kernel); RemoteCacheBackend
+/// hands out server leases (fleet-wide, TTL-expired); the tiered
+/// backend composes both.  A backend with no coordination needs hands
+/// out a no-op lock that always acquires.
+class WriterLock {
+public:
+  struct Result {
+    bool Acquired = false;
+    /// True when the deadline passed with the lock held elsewhere (as
+    /// opposed to the lock machinery itself failing).
+    bool TimedOut = false;
+    /// Wall time spent waiting.
+    std::uint64_t WaitedMs = 0;
+    std::string Message;
+
+    explicit operator bool() const { return Acquired; }
+  };
+
+  virtual ~WriterLock() = default;
+
+  /// Blocks (poll + backoff) until held, the deadline passes, or the
+  /// lock errors.  FileLock::Options carries the shared knobs (timeout,
+  /// backoff, staleness); implementations ignore fields that do not
+  /// apply to their protocol.
+  virtual Result acquire(const FileLock::Options &O) = 0;
+
+  /// Tells waiters this holder is still alive (file mtime refresh or
+  /// lease renewal).  No-op unless held.
+  virtual void heartbeat() {}
+
+  /// Releases if held (implementations also release on destruction).
+  virtual void release() = 0;
+};
+
+/// The default WriterLock: a FileLock on a filesystem path.  An empty
+/// path is the no-op lock that always acquires instantly.
+class FileWriterLock final : public WriterLock {
+public:
+  explicit FileWriterLock(std::string Path) : Lock(std::move(Path)) {}
+
+  Result acquire(const FileLock::Options &O) override;
+  void heartbeat() override { Lock.heartbeat(); }
+  void release() override { Lock.release(); }
+
+private:
+  FileLock Lock;
 };
 
 /// Named-blob storage under the measurement cache.
@@ -64,14 +117,27 @@ public:
                                        const std::string &Suffix) const = 0;
 
   /// Where a FileLock coordinating writers of \p Name should live;
-  /// empty when this backend needs no cross-process locking.
+  /// empty when this backend needs no cross-process locking (it brings
+  /// its own atomicity, and its lifecycle is managed where the blobs
+  /// live — e.g. by the remote server's own prune).
   virtual std::string lockPath(const std::string &Name) const = 0;
+
+  /// The writer election for \p Name.  Default: a FileWriterLock on
+  /// lockPath(Name) — which is the always-acquires no-op lock when that
+  /// path is empty.  Remote backends override this with a server lease
+  /// so a whole fleet elects one writer.
+  virtual std::unique_ptr<WriterLock> writerLock(const std::string &Name);
 };
 
 /// Writes \p Bytes to \p Path via a temp file in Path's own directory
 /// plus an atomic rename.  Shared by LocalDirBackend and the bare
 /// saveMeasurementsFile() wrapper.
 bool atomicWriteFile(const std::string &Path, std::string_view Bytes);
+
+/// atomicWriteFile() temp files older than this are debris from a
+/// crashed writer; LocalDirBackend::scan unlinks them as it goes (and
+/// never reports any temp file as an entry, whatever the scan filters).
+inline constexpr std::int64_t kStaleTempFileSeconds = 3600;
 
 /// A flat directory of blobs (created on first use).
 class LocalDirBackend final : public CacheBackend {

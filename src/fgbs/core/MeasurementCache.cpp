@@ -33,6 +33,8 @@
 
 #include "fgbs/core/MeasurementCache.h"
 
+#include "fgbs/core/RemoteCacheBackend.h"
+#include "fgbs/core/TieredCacheBackend.h"
 #include "fgbs/obs/Metrics.h"
 #include "fgbs/support/BinaryIo.h"
 #include "fgbs/support/Crc32.h"
@@ -579,6 +581,20 @@ FileLock::AcquireResult acquireCounted(FileLock &Lock,
   return R;
 }
 
+/// The same counters for the backend-provided writer election (file
+/// lock, remote lease, or the tiered pair).
+WriterLock::Result acquireCounted(WriterLock &Lock,
+                                  const FileLock::Options &O) {
+  WriterLock::Result R = Lock.acquire(O);
+  if (R.WaitedMs > 0)
+    FGBS_COUNTER_ADD("db.cache.lock.waited_ms", R.WaitedMs);
+  if (R)
+    FGBS_COUNTER_ADD("db.cache.lock.acquired", 1);
+  else if (R.TimedOut)
+    FGBS_COUNTER_ADD("db.cache.lock.timeouts", 1);
+  return R;
+}
+
 /// Manifest updates are quick bookkeeping: give them a short slice of
 /// the writer budget so a wedged manifest lock cannot stall a build.
 FileLock::Options manifestOptions(const FileLock::Options &Base) {
@@ -612,6 +628,11 @@ bool MeasurementCache::exists(std::uint64_t Key) const {
 
 void MeasurementCache::touchEntry(const std::string &Name,
                                   std::uint64_t SizeBytes) {
+  // Backends without a manifest lock location manage their own
+  // lifecycle where the blobs live (the fgbs_cached server prunes its
+  // shards); no client-side manifest exists to update.
+  if (BackendPtr->lockPath(kMeasurementIndexName).empty())
+    return;
   const std::int64_t Now = nowUnixSeconds();
   // Relatime fast path: manifest writes are skipped while the entry's
   // recorded access time is fresh.  The read is lock-free — manifests
@@ -669,9 +690,12 @@ MeasurementCacheError MeasurementCache::store(const MeasurementDatabase &Db,
                                               bool EntryLockHeld,
                                               std::string *Message) {
   const std::string Name = measurementCacheFileName(Key);
-  FileLock Lock(BackendPtr->lockPath(Name));
+  // The backend chooses the election protocol: FileLock for a local
+  // directory, a fleet-wide server lease for a remote backend, both for
+  // the tiered composition.
+  std::unique_ptr<WriterLock> Lock = BackendPtr->writerLock(Name);
   if (!EntryLockHeld) {
-    FileLock::AcquireResult R = acquireCounted(Lock, LockOptions);
+    WriterLock::Result R = acquireCounted(*Lock, LockOptions);
     if (!R) {
       if (Message)
         *Message = R.Message;
@@ -691,6 +715,12 @@ MeasurementCacheError MeasurementCache::store(const MeasurementDatabase &Db,
 CachePruneStats MeasurementCache::prune(std::uint64_t MaxBytes,
                                         std::uint64_t MaxAgeSeconds) {
   CachePruneStats Stats;
+  // No manifest lock location = the backend runs its own lifecycle
+  // (RemoteCacheBackend::pruneRemote asks the server to prune its
+  // shards); client-side eviction here would be blind to fleet-wide
+  // access times.
+  if (BackendPtr->lockPath(kMeasurementIndexName).empty())
+    return Stats;
   FileLock Lock(BackendPtr->lockPath(kMeasurementIndexName));
   if (!acquireCounted(Lock, manifestOptions(LockOptions))) {
     Stats.LockTimedOut = true;
@@ -762,10 +792,41 @@ fgbs::buildMeasurementDatabase(const Suite &S, Machine Reference,
     return std::make_unique<MeasurementDatabase>(S, Reference, Targets,
                                                  Options.Policy, DbOptions);
   };
-  if (!Options.UseCache || Options.CacheDir.empty())
+  // The remote tier is opt-in per run (--cache-remote) or per
+  // environment (FGBS_MEAS_CACHE_REMOTE); --no-cache turns off both
+  // tiers at once.
+  std::string RemoteSpec = Options.CacheRemote;
+  if (RemoteSpec.empty())
+    if (const char *Env = std::getenv("FGBS_MEAS_CACHE_REMOTE"))
+      RemoteSpec = Env;
+  if (!Options.UseCache || (Options.CacheDir.empty() && RemoteSpec.empty()))
     return Simulate();
 
-  MeasurementCache Cache(Options.CacheDir);
+  std::unique_ptr<RemoteCacheBackend> Remote;
+  if (!RemoteSpec.empty()) {
+    RemoteCacheConfig RemoteConfig;
+    if (parseRemoteCacheAddress(RemoteSpec, RemoteConfig)) {
+      Remote = std::make_unique<RemoteCacheBackend>(std::move(RemoteConfig));
+    } else {
+      std::cerr << "fgbs: warning: ignoring malformed remote cache address '"
+                << RemoteSpec << "' (want host:port)\n";
+      if (Options.CacheDir.empty())
+        return Simulate();
+    }
+  }
+
+  // Local-only, remote-only, or tiered — one MeasurementCache either
+  // way; the backend seam hides which.
+  std::unique_ptr<CacheBackend> Backend;
+  if (Remote && !Options.CacheDir.empty())
+    Backend = std::make_unique<TieredCacheBackend>(
+        std::make_unique<LocalDirBackend>(Options.CacheDir),
+        std::move(Remote));
+  else if (Remote)
+    Backend = std::move(Remote);
+  else
+    Backend = std::make_unique<LocalDirBackend>(Options.CacheDir);
+  MeasurementCache Cache(std::move(Backend));
   Cache.LockOptions.TimeoutMs = Options.LockTimeoutMs
                                     ? Options.LockTimeoutMs
                                     : envU64("FGBS_MEAS_CACHE_LOCK_MS");
@@ -804,11 +865,16 @@ fgbs::buildMeasurementDatabase(const Suite &S, Machine Reference,
   FGBS_COUNTER_ADD("db.cache.misses", 1);
 
   // Cold path: exactly one concurrent run simulates while the rest
-  // block on the entry's writer lock and then load what it published.
-  FileLock Lock(Cache.entryLockPath(Key));
+  // block on the entry's writer election and then load what it
+  // published.  The backend chooses the protocol — a same-host FileLock
+  // for a local directory, a fleet-wide server lease for the remote
+  // tier, both for the tiered cache; a backend with no coordination
+  // needs hands out a lock that acquires instantly.
+  std::unique_ptr<WriterLock> Lock =
+      Cache.backend().writerLock(measurementCacheFileName(Key));
   bool LockHeld = false;
-  if (!Lock.path().empty()) {
-    FileLock::AcquireResult R = acquireCounted(Lock, Cache.LockOptions);
+  {
+    WriterLock::Result R = acquireCounted(*Lock, Cache.LockOptions);
     if (R) {
       LockHeld = true;
       // The previous holder may have published our key while we waited.
@@ -825,7 +891,7 @@ fgbs::buildMeasurementDatabase(const Suite &S, Machine Reference,
 
   auto Db = Simulate();
   if (LockHeld) {
-    Lock.heartbeat();
+    Lock->heartbeat();
     std::string Message;
     MeasurementCacheError E = Cache.store(*Db, Key, /*EntryLockHeld=*/true,
                                           &Message);
@@ -834,13 +900,28 @@ fgbs::buildMeasurementDatabase(const Suite &S, Machine Reference,
       const std::uint64_t MaxBytes = Options.CacheMaxBytes
                                          ? Options.CacheMaxBytes
                                          : measurementCacheEnvMaxBytes();
-      if (MaxBytes || Options.CacheMaxAgeSeconds)
-        Cache.prune(MaxBytes, Options.CacheMaxAgeSeconds);
+      if (MaxBytes || Options.CacheMaxAgeSeconds) {
+        // Eviction is a per-tier concern: prune the local directory
+        // only, through its own cache object, so a tiered backend's
+        // remove() can never delete fleet-shared entries on the server
+        // (the server prunes its shards under its own budgets).
+        if (Options.CacheDir.empty()) {
+          Cache.prune(MaxBytes, Options.CacheMaxAgeSeconds);
+        } else {
+          MeasurementCache LocalOnly(Options.CacheDir);
+          LocalOnly.LockOptions = Cache.LockOptions;
+          LocalOnly.prune(MaxBytes, Options.CacheMaxAgeSeconds);
+        }
+      }
     } else {
       FGBS_COUNTER_ADD("db.cache.errors", 1);
       std::cerr << "fgbs: cannot store measurement cache entry ("
                 << measurementCacheErrorName(E) << ": " << Message << ")\n";
     }
   }
+  // The lock releases here — for a tiered cache that flushes the remote
+  // write-back first, so the next fleet grantee's double-checked load
+  // sees the entry.
+  Lock->release();
   return Db;
 }

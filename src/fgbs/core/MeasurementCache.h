@@ -149,11 +149,16 @@ struct CachePruneStats {
   bool LockTimedOut = false;      ///< Manifest lock unavailable; no-op.
 };
 
-/// The measurement cache proper: a CacheBackend (a local directory
-/// today; the backend seam exists for the ROADMAP remote tier) plus the
-/// lifecycle logic — manifest bookkeeping, LRU/age eviction, and typed
-/// lock-coordinated stores.  Loads never lock: entries are published
-/// atomically, so a reader sees either nothing or a complete file.
+/// The measurement cache proper: a CacheBackend (a local directory, a
+/// RemoteCacheBackend over an fgbs_cached server, or the tiered
+/// composition of both) plus the lifecycle logic — manifest
+/// bookkeeping, LRU/age eviction, and typed lock-coordinated stores.
+/// Loads never lock: entries are published atomically, so a reader sees
+/// either nothing or a complete file.  Manifest bookkeeping and prune()
+/// are skipped for backends whose manifest lock path is empty — those
+/// manage their own lifecycle where the blobs live (the server prunes
+/// its shards).  Writer coordination goes through the backend's
+/// writerLock(), so a remote backend elects one writer fleet-wide.
 class MeasurementCache {
 public:
   /// A cache over \p Dir via LocalDirBackend (created when missing).
@@ -212,6 +217,14 @@ struct DatabaseBuildOptions {
   /// Cache directory; empty disables the on-disk cache.  Created on
   /// first store if missing.
   std::string CacheDir;
+  /// "host:port" of an fgbs_cached server (--cache-remote); empty falls
+  /// back to the FGBS_MEAS_CACHE_REMOTE environment variable, and an
+  /// empty result means no remote tier.  With a CacheDir too, the cache
+  /// is tiered (local read-through over the remote, async write-back);
+  /// with no CacheDir it is remote-only.  An unreachable or dying
+  /// server degrades to simulate-without-store with a warning and
+  /// db.cache.remote.{errors,timeouts} counters — it never fails a run.
+  std::string CacheRemote;
   /// Master cache switch (--no-cache): false never reads or writes the
   /// cache even when CacheDir is set.
   bool UseCache = true;

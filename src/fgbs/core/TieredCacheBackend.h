@@ -1,0 +1,105 @@
+//===- fgbs/core/TieredCacheBackend.h - Local + remote tiers ----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read-through composition of a local measurement-cache directory and
+/// a RemoteCacheBackend: gets consult the local tier first, fall through
+/// to the remote, and a remote hit is written back into the local tier
+/// so the next run on this host never crosses the network for it.
+/// Puts land locally (the run's own durability) and are replicated to
+/// the remote asynchronously on a single write-back thread, so
+/// publishing a measurement never blocks a training run on a slow or
+/// dead network.
+///
+/// Scope rules keeping the tiers honest:
+///  - The manifest (fgbs.meas.index.v1) is never replicated: access
+///    times and eviction are per-tier concerns, and the server runs its
+///    own lifecycle per shard.  Each tier prunes itself.
+///  - scan() is local-only.  Enumeration feeds local lifecycle and
+///    status displays; fleet-wide enumeration goes through the remote
+///    backend directly.
+///  - lockPath() delegates to the local tier, so same-host writer
+///    coordination keeps its kernel-backed FileLock guarantees.
+///
+/// Writer election spans both tiers: writerLock() acquires the local
+/// FileLock first (cheap, same-host) and then the remote lease
+/// (fleet-wide).  Release flushes the write-back queue BEFORE letting
+/// the remote lease go, so the next fleet-wide grantee's double-checked
+/// load observes the published entry instead of re-simulating.
+///
+/// Counters: db.cache.tier.{local_hits,remote_hits,writebacks,
+/// writeback_failures}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_TIEREDCACHEBACKEND_H
+#define FGBS_CORE_TIEREDCACHEBACKEND_H
+
+#include "fgbs/core/CacheBackend.h"
+#include "fgbs/core/RemoteCacheBackend.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace fgbs {
+
+/// Local-then-remote read-through cache backend with asynchronous
+/// remote write-back.
+class TieredCacheBackend final : public CacheBackend {
+public:
+  TieredCacheBackend(std::unique_ptr<CacheBackend> Local,
+                     std::unique_ptr<RemoteCacheBackend> Remote);
+  ~TieredCacheBackend() override;
+
+  CacheBackend &local() { return *Local; }
+  RemoteCacheBackend &remote() { return *Remote; }
+
+  bool exists(const std::string &Name) const override;
+  bool get(const std::string &Name, std::string &BytesOut) const override;
+  bool put(const std::string &Name, std::string_view Bytes) override;
+  bool remove(const std::string &Name) override;
+  std::vector<CacheEntry> scan(const std::string &Prefix,
+                               const std::string &Suffix) const override;
+  std::string lockPath(const std::string &Name) const override;
+  std::unique_ptr<WriterLock> writerLock(const std::string &Name) override;
+
+  /// Blocks until every queued remote write-back has been attempted
+  /// (success or typed degradation).  Run before releasing a fleet
+  /// writer lease and by the destructor.
+  void flushWriteBacks();
+
+  /// Whether \p Name crosses the network at all.  The manifest stays
+  /// per-tier (each tier runs its own lifecycle).
+  static bool replicated(const std::string &Name);
+
+private:
+  void writeBackLoop();
+  void enqueueWriteBack(const std::string &Name, std::string Bytes);
+
+  std::unique_ptr<CacheBackend> Local;
+  std::unique_ptr<RemoteCacheBackend> Remote;
+
+  struct WriteBack {
+    std::string Name;
+    std::string Bytes;
+  };
+  mutable std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::condition_variable DrainCv;
+  std::deque<WriteBack> Queue;
+  std::size_t InFlight = 0;
+  bool Stopping = false;
+  std::thread Writer;
+};
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_TIEREDCACHEBACKEND_H

@@ -1,0 +1,375 @@
+//===- fgbs/net/CacheServer.cpp - Sharded measurement-cache daemon --------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/net/CacheServer.h"
+
+#include "fgbs/core/MeasurementCache.h"
+#include "fgbs/obs/Metrics.h"
+#include "fgbs/support/BinaryIo.h"
+#include "fgbs/support/Crc32.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+using namespace fgbs;
+using namespace fgbs::net;
+using namespace fgbs::binio;
+
+namespace {
+
+std::uint64_t steadyMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Stop-flag poll interval for accept and idle-connection waits.
+constexpr std::uint64_t kPollSliceMs = 250;
+
+/// Ceiling on client-requested lease TTLs: a buggy client asking for a
+/// day still cannot wedge the fleet for more than this.
+constexpr std::uint64_t kMaxLeaseTtlMs = 2ull * 60 * 60 * 1000;
+
+bool isHexDigit(char C) {
+  return (C >= '0' && C <= '9') || (C >= 'a' && C <= 'f') ||
+         (C >= 'A' && C <= 'F');
+}
+
+unsigned hexValue(char C) {
+  if (C >= '0' && C <= '9')
+    return static_cast<unsigned>(C - '0');
+  if (C >= 'a' && C <= 'f')
+    return static_cast<unsigned>(C - 'a') + 10;
+  return static_cast<unsigned>(C - 'A') + 10;
+}
+
+} // namespace
+
+namespace {
+
+/// Per-shard slice of a whole-server byte budget.  Ceiling division so
+/// a tiny non-zero budget stays non-zero (0 means unbounded, and a
+/// 1-byte budget rounding down to "unbounded" would invert its intent).
+std::uint64_t perShardBudget(std::uint64_t MaxBytes, unsigned Shards) {
+  if (MaxBytes == 0 || Shards == 0)
+    return 0;
+  return (MaxBytes + Shards - 1) / Shards;
+}
+
+} // namespace
+
+bool fgbs::net::isValidEntryName(std::string_view Name) {
+  if (Name.empty() || Name.size() > 255)
+    return false;
+  if (Name == "." || Name == "..")
+    return false;
+  for (char C : Name)
+    if (C == '/' || C == '\\' || C == '\0')
+      return false;
+  return true;
+}
+
+unsigned CacheServer::shardForName(std::string_view Name, unsigned Shards) {
+  if (Shards <= 1)
+    return 0;
+  // Canonical entries ("fgbs-meas-<16 hex>.v1") route on their leading
+  // content-hash digits so the key itself names the shard.
+  constexpr std::string_view Prefix = "fgbs-meas-";
+  constexpr std::string_view Suffix = ".v1";
+  if (Name.size() == Prefix.size() + 16 + Suffix.size() &&
+      Name.substr(0, Prefix.size()) == Prefix &&
+      Name.substr(Name.size() - Suffix.size()) == Suffix) {
+    bool AllHex = true;
+    std::uint32_t Lead = 0;
+    for (std::size_t I = 0; I < 8 && AllHex; ++I) {
+      char C = Name[Prefix.size() + I];
+      AllHex = isHexDigit(C);
+      Lead = (Lead << 4) | hexValue(C);
+    }
+    if (AllHex)
+      return Lead % Shards;
+  }
+  return crc32(Name) % Shards;
+}
+
+CacheServer::CacheServer(CacheServerConfig Config)
+    : Config(std::move(Config)) {
+  if (this->Config.Shards == 0)
+    this->Config.Shards = 1;
+  if (this->Config.Threads == 0)
+    this->Config.Threads = 4;
+}
+
+CacheServer::~CacheServer() { stop(); }
+
+bool CacheServer::start(std::string *Error) {
+  if (Running.load(std::memory_order_acquire))
+    return true;
+  if (Config.Root.empty()) {
+    if (Error)
+      *Error = "cache server needs a root directory";
+    return false;
+  }
+  if (!Listen.listenOn(Config.BindAddr, Config.Port, /*Backlog=*/64, Error))
+    return false;
+
+  ShardBackends.clear();
+  for (unsigned I = 0; I < Config.Shards; ++I) {
+    char Leaf[32];
+    std::snprintf(Leaf, sizeof(Leaf), "shard-%02u", I);
+    ShardBackends.push_back(std::make_unique<LocalDirBackend>(
+        (std::filesystem::path(Config.Root) / Leaf).string()));
+  }
+
+  StopFlag.store(false, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  ServeThread = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void CacheServer::stop() {
+  StopFlag.store(true, std::memory_order_release);
+  if (ServeThread.joinable())
+    ServeThread.join();
+  Listen.close();
+  Running.store(false, std::memory_order_release);
+}
+
+void CacheServer::serveLoop() {
+  // The pool's parallelFor distributes worker indices; every index runs
+  // an accept loop until the stop flag drains them all.  The serving
+  // thread participates, so Threads is the true concurrency.
+  ThreadPool Pool(Config.Threads);
+  Pool.parallelFor(0, Config.Threads, [this](std::size_t) { acceptLoop(); });
+}
+
+void CacheServer::acceptLoop() {
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    Socket Conn = Listen.acceptOnce(kPollSliceMs);
+    if (Conn.valid())
+      serveConnection(std::move(Conn));
+  }
+}
+
+void CacheServer::serveConnection(Socket Conn) {
+  FGBS_COUNTER_ADD("cachesrv.connections", 1);
+  std::uint64_t IdleDeadline = steadyMs() + Config.IdleTimeoutMs;
+  while (!StopFlag.load(std::memory_order_acquire)) {
+    Frame Request;
+    WireError E = readFrame(Conn, Request, kPollSliceMs);
+    if (E == WireError::Timeout) {
+      if (steadyMs() >= IdleDeadline)
+        return; // Idle too long; the client can reconnect.
+      continue;
+    }
+    if (E == WireError::Closed)
+      return;
+    if (E != WireError::None) {
+      // Frame-level damage loses byte-stream sync: answer what we can
+      // and drop the connection.
+      FGBS_COUNTER_ADD("cachesrv.errors", 1);
+      std::string Msg;
+      putStr(Msg, std::string("bad frame: ") + wireErrorName(E));
+      respond(Conn, Opcode::Error, Msg);
+      return;
+    }
+    FGBS_COUNTER_ADD("cachesrv.requests", 1);
+    FGBS_COUNTER_ADD("cachesrv.bytes_in",
+                     kWireHeaderBytes + Request.Payload.size());
+    if (!handleFrame(Conn, Request))
+      return;
+    IdleDeadline = steadyMs() + Config.IdleTimeoutMs;
+  }
+}
+
+bool CacheServer::respond(Socket &Conn, Opcode Op, std::string_view Payload) {
+  FGBS_COUNTER_ADD("cachesrv.bytes_out", kWireHeaderBytes + Payload.size());
+  return writeFrame(Conn, Op, Payload, Config.IoTimeoutMs);
+}
+
+bool CacheServer::respondError(Socket &Conn, const std::string &Message) {
+  FGBS_COUNTER_ADD("cachesrv.errors", 1);
+  std::string Payload;
+  putStr(Payload, Message);
+  return respond(Conn, Opcode::Error, Payload);
+}
+
+CacheBackend &CacheServer::shardFor(const std::string &Name) {
+  return *ShardBackends[shardForName(Name, shards())];
+}
+
+void CacheServer::pruneShard(unsigned Shard) {
+  // Reuse the whole PR 5 lifecycle (manifest, LRU, age) per shard; the
+  // byte budget is split evenly because the content hash spreads
+  // entries uniformly.
+  MeasurementCache Shardwise(
+      std::make_unique<LocalDirBackend>(ShardBackends[Shard]->dir()));
+  Shardwise.prune(perShardBudget(Config.MaxBytes, shards()),
+                  Config.MaxAgeSeconds);
+}
+
+bool CacheServer::leaseAcquire(const std::string &Name, std::uint64_t Token,
+                               std::uint64_t TtlMs) {
+  TtlMs = std::min(TtlMs, kMaxLeaseTtlMs);
+  const std::uint64_t Now = steadyMs();
+  std::lock_guard<std::mutex> Guard(LeaseMutex);
+  auto It = Leases.find(Name);
+  if (It != Leases.end() && It->second.ExpiresAtMs > Now &&
+      It->second.Token != Token)
+    return false;
+  Leases[Name] = {Token, Now + TtlMs};
+  return true;
+}
+
+bool CacheServer::leaseRelease(const std::string &Name, std::uint64_t Token) {
+  std::lock_guard<std::mutex> Guard(LeaseMutex);
+  auto It = Leases.find(Name);
+  if (It == Leases.end() || It->second.Token != Token)
+    return false;
+  Leases.erase(It);
+  return true;
+}
+
+bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
+  ByteReader In(Request.Payload);
+  switch (Request.Op) {
+  case Opcode::Ping: {
+    std::string Out;
+    putStr(Out, "fgbs.cachewire.v1");
+    putU32(Out, shards());
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
+  case Opcode::Exists: {
+    std::string Name = In.str();
+    if (In.overrun() || !isValidEntryName(Name))
+      return respondError(Conn, "exists: bad name");
+    std::string Out;
+    Out.push_back(shardFor(Name).exists(Name) ? 1 : 0);
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
+  case Opcode::Get: {
+    std::string Name = In.str();
+    if (In.overrun() || !isValidEntryName(Name))
+      return respondError(Conn, "get: bad name");
+    std::string Bytes;
+    if (!shardFor(Name).get(Name, Bytes)) {
+      FGBS_COUNTER_ADD("cachesrv.get.misses", 1);
+      return respond(Conn, Opcode::NotFound, {});
+    }
+    FGBS_COUNTER_ADD("cachesrv.get.hits", 1);
+    return respond(Conn, Opcode::Ok, Bytes);
+  }
+
+  case Opcode::Put: {
+    std::string Name = In.str();
+    if (In.overrun() || !isValidEntryName(Name))
+      return respondError(Conn, "put: bad name");
+    // The blob is the rest of the payload, unframed — no second length
+    // field to disagree with the frame's.
+    std::string_view Blob =
+        std::string_view(Request.Payload).substr(4 + Name.size());
+    if (!shardFor(Name).put(Name, Blob))
+      return respondError(Conn, "put: cannot publish '" + Name + "'");
+    FGBS_COUNTER_ADD("cachesrv.puts", 1);
+    if (Config.MaxBytes || Config.MaxAgeSeconds)
+      pruneShard(shardForName(Name, shards()));
+    return respond(Conn, Opcode::Ok, {});
+  }
+
+  case Opcode::Remove: {
+    std::string Name = In.str();
+    if (In.overrun() || !isValidEntryName(Name))
+      return respondError(Conn, "remove: bad name");
+    std::string Out;
+    Out.push_back(shardFor(Name).remove(Name) ? 1 : 0);
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
+  case Opcode::Scan: {
+    std::string Prefix = In.str();
+    std::string Suffix = In.str();
+    if (In.overrun())
+      return respondError(Conn, "scan: damaged filters");
+    std::vector<CacheEntry> All;
+    for (const auto &Shard : ShardBackends) {
+      std::vector<CacheEntry> Part = Shard->scan(Prefix, Suffix);
+      All.insert(All.end(), std::make_move_iterator(Part.begin()),
+                 std::make_move_iterator(Part.end()));
+    }
+    std::string Out;
+    putU32(Out, static_cast<std::uint32_t>(All.size()));
+    for (const CacheEntry &E : All) {
+      putStr(Out, E.Name);
+      putU64(Out, E.SizeBytes);
+      putU64(Out, static_cast<std::uint64_t>(E.AccessUnixSeconds));
+    }
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
+  case Opcode::Prune: {
+    std::uint64_t MaxBytes = In.u64();
+    std::uint64_t MaxAgeSeconds = In.u64();
+    if (In.overrun())
+      return respondError(Conn, "prune: damaged budgets");
+    CachePruneStats Total;
+    for (unsigned I = 0; I < shards(); ++I) {
+      MeasurementCache Shardwise(
+          std::make_unique<LocalDirBackend>(ShardBackends[I]->dir()));
+      CachePruneStats S =
+          Shardwise.prune(perShardBudget(MaxBytes, shards()), MaxAgeSeconds);
+      Total.Entries += S.Entries;
+      Total.Removed += S.Removed;
+      Total.BytesBefore += S.BytesBefore;
+      Total.BytesAfter += S.BytesAfter;
+    }
+    std::string Out;
+    putU64(Out, Total.Entries);
+    putU64(Out, Total.Removed);
+    putU64(Out, Total.BytesBefore);
+    putU64(Out, Total.BytesAfter);
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
+  case Opcode::LockAcquire: {
+    std::string Name = In.str();
+    std::uint64_t Token = In.u64();
+    std::uint64_t TtlMs = In.u64();
+    if (In.overrun() || !isValidEntryName(Name) || Token == 0 || TtlMs == 0)
+      return respondError(Conn, "lock_acquire: bad lease request");
+    bool Granted = leaseAcquire(Name, Token, TtlMs);
+    if (Granted)
+      FGBS_COUNTER_ADD("cachesrv.lock.granted", 1);
+    else
+      FGBS_COUNTER_ADD("cachesrv.lock.denied", 1);
+    std::string Out;
+    Out.push_back(Granted ? 1 : 0);
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
+  case Opcode::LockRelease: {
+    std::string Name = In.str();
+    std::uint64_t Token = In.u64();
+    if (In.overrun() || !isValidEntryName(Name) || Token == 0)
+      return respondError(Conn, "lock_release: bad lease request");
+    std::string Out;
+    Out.push_back(leaseRelease(Name, Token) ? 1 : 0);
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
+  case Opcode::Ok:
+  case Opcode::NotFound:
+  case Opcode::Error:
+    break;
+  }
+  return respondError(Conn, std::string("unsupported opcode ") +
+                                opcodeName(Request.Op));
+}

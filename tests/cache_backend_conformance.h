@@ -1,0 +1,238 @@
+//===- tests/cache_backend_conformance.h - CacheBackend contract -*-C++-*-===//
+//
+// The backend-agnostic conformance suite for core/CacheBackend: every
+// implementation — the local directory, a plain in-memory map, the
+// wire-protocol client over a loopback fgbs_cached server, and the
+// tiered composition — must pass the identical battery, because
+// MeasurementCache treats them interchangeably.
+//
+// Usage: define a Harness type providing
+//
+//   struct MyHarness {
+//     MyHarness();                  // bring up whatever the backend needs
+//     CacheBackend &backend();      // the backend under test
+//   };
+//
+// then instantiate:
+//
+//   INSTANTIATE_TYPED_TEST_SUITE_P(My, CacheBackendConformance, MyHarness);
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_TESTS_CACHE_BACKEND_CONFORMANCE_H
+#define FGBS_TESTS_CACHE_BACKEND_CONFORMANCE_H
+
+#include "fgbs/core/CacheBackend.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fgbs {
+namespace conformance {
+
+/// The minimal correct backend: blobs in a map.  Doubles as the
+/// reference implementation the suite is calibrated against and as the
+/// "backend with no coordination needs" case (empty lock paths, no-op
+/// writer locks from the base-class default).
+class InMemoryBackend final : public CacheBackend {
+public:
+  bool exists(const std::string &Name) const override {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Blobs.count(Name) != 0;
+  }
+
+  bool get(const std::string &Name, std::string &BytesOut) const override {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    auto It = Blobs.find(Name);
+    if (It == Blobs.end())
+      return false;
+    BytesOut = It->second;
+    return true;
+  }
+
+  bool put(const std::string &Name, std::string_view Bytes) override {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    Blobs[Name] = std::string(Bytes);
+    return true;
+  }
+
+  bool remove(const std::string &Name) override {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Blobs.erase(Name) != 0;
+  }
+
+  std::vector<CacheEntry> scan(const std::string &Prefix,
+                               const std::string &Suffix) const override {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    std::vector<CacheEntry> Out;
+    for (const auto &[Name, Bytes] : Blobs) {
+      if (Name.size() < Prefix.size() + Suffix.size() ||
+          Name.compare(0, Prefix.size(), Prefix) != 0 ||
+          Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) !=
+              0)
+        continue;
+      CacheEntry E;
+      E.Name = Name;
+      E.SizeBytes = Bytes.size();
+      Out.push_back(std::move(E));
+    }
+    return Out;
+  }
+
+  std::string lockPath(const std::string &) const override { return {}; }
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::string> Blobs;
+};
+
+/// A blob exercising every byte value, including NULs — backends must
+/// be 8-bit clean (measurement entries are raw binary).
+inline std::string binaryBlob(std::size_t Size) {
+  std::string Out;
+  Out.reserve(Size);
+  for (std::size_t I = 0; I < Size; ++I)
+    Out.push_back(static_cast<char>(I * 131 % 256));
+  return Out;
+}
+
+template <typename Harness>
+class CacheBackendConformance : public ::testing::Test {
+protected:
+  Harness H;
+};
+
+TYPED_TEST_SUITE_P(CacheBackendConformance);
+
+TYPED_TEST_P(CacheBackendConformance, AbsentEntryBehaves) {
+  CacheBackend &B = this->H.backend();
+  EXPECT_FALSE(B.exists("fgbs-meas-00000000000000aa.v1"));
+  std::string Bytes = "sentinel";
+  EXPECT_FALSE(B.get("fgbs-meas-00000000000000aa.v1", Bytes));
+  EXPECT_EQ(Bytes, "sentinel") << "a failed get must not clobber the buffer";
+  EXPECT_FALSE(B.remove("fgbs-meas-00000000000000aa.v1"));
+}
+
+TYPED_TEST_P(CacheBackendConformance, BinaryRoundTrip) {
+  CacheBackend &B = this->H.backend();
+  const std::string Name = "fgbs-meas-00000000000000ab.v1";
+  const std::string Blob = binaryBlob(4096);
+  ASSERT_NE(Blob.find('\0'), std::string::npos);
+  ASSERT_TRUE(B.put(Name, Blob));
+  EXPECT_TRUE(B.exists(Name));
+  std::string Loaded;
+  ASSERT_TRUE(B.get(Name, Loaded));
+  EXPECT_EQ(Loaded, Blob);
+}
+
+TYPED_TEST_P(CacheBackendConformance, OverwriteReplacesBytes) {
+  CacheBackend &B = this->H.backend();
+  const std::string Name = "fgbs-meas-00000000000000ac.v1";
+  ASSERT_TRUE(B.put(Name, "first version"));
+  ASSERT_TRUE(B.put(Name, "second"));
+  std::string Loaded;
+  ASSERT_TRUE(B.get(Name, Loaded));
+  EXPECT_EQ(Loaded, "second");
+}
+
+TYPED_TEST_P(CacheBackendConformance, EmptyBlobIsAnEntry) {
+  CacheBackend &B = this->H.backend();
+  const std::string Name = "fgbs-meas-00000000000000ad.v1";
+  ASSERT_TRUE(B.put(Name, ""));
+  EXPECT_TRUE(B.exists(Name));
+  std::string Loaded = "sentinel";
+  ASSERT_TRUE(B.get(Name, Loaded));
+  EXPECT_TRUE(Loaded.empty());
+}
+
+TYPED_TEST_P(CacheBackendConformance, RemoveDeletes) {
+  CacheBackend &B = this->H.backend();
+  const std::string Name = "fgbs-meas-00000000000000ae.v1";
+  ASSERT_TRUE(B.put(Name, "bytes"));
+  EXPECT_TRUE(B.remove(Name));
+  EXPECT_FALSE(B.exists(Name));
+  std::string Loaded;
+  EXPECT_FALSE(B.get(Name, Loaded));
+}
+
+TYPED_TEST_P(CacheBackendConformance, ScanFiltersAndSizes) {
+  CacheBackend &B = this->H.backend();
+  ASSERT_TRUE(B.put("fgbs-meas-00000000000000b0.v1", binaryBlob(100)));
+  ASSERT_TRUE(B.put("fgbs-meas-00000000000000b1.v1", binaryBlob(200)));
+  ASSERT_TRUE(B.put("other-entry.bin", "unrelated"));
+
+  std::vector<CacheEntry> Hits = B.scan("fgbs-meas-", ".v1");
+  std::sort(Hits.begin(), Hits.end(),
+            [](const CacheEntry &A, const CacheEntry &C) {
+              return A.Name < C.Name;
+            });
+  ASSERT_EQ(Hits.size(), 2u);
+  EXPECT_EQ(Hits[0].Name, "fgbs-meas-00000000000000b0.v1");
+  EXPECT_EQ(Hits[0].SizeBytes, 100u);
+  EXPECT_EQ(Hits[1].Name, "fgbs-meas-00000000000000b1.v1");
+  EXPECT_EQ(Hits[1].SizeBytes, 200u);
+
+  EXPECT_TRUE(B.scan("no-such-prefix-", ".v1").empty());
+}
+
+TYPED_TEST_P(CacheBackendConformance, LargeBlobRoundTrip) {
+  CacheBackend &B = this->H.backend();
+  const std::string Name = "fgbs-meas-00000000000000b2.v1";
+  const std::string Blob = binaryBlob(1u << 20);
+  ASSERT_TRUE(B.put(Name, Blob));
+  std::string Loaded;
+  ASSERT_TRUE(B.get(Name, Loaded));
+  EXPECT_EQ(Loaded.size(), Blob.size());
+  EXPECT_EQ(Loaded, Blob);
+}
+
+TYPED_TEST_P(CacheBackendConformance, LockPathContract) {
+  CacheBackend &B = this->H.backend();
+  // Either the backend points writers at a usable lock location, or it
+  // opts out with an empty path (it brings its own atomicity).  A
+  // non-empty path must differ from the entry name's own storage and be
+  // stable across calls.
+  const std::string Name = "fgbs-meas-00000000000000b3.v1";
+  const std::string Path = B.lockPath(Name);
+  EXPECT_EQ(Path, B.lockPath(Name));
+  if (!Path.empty()) {
+    EXPECT_NE(Path.find(Name), std::string::npos)
+        << "a per-entry lock path should be derived from the entry name";
+  }
+}
+
+TYPED_TEST_P(CacheBackendConformance, WriterLockCycle) {
+  CacheBackend &B = this->H.backend();
+  const std::string Name = "fgbs-meas-00000000000000b4.v1";
+  std::unique_ptr<WriterLock> Lock = B.writerLock(Name);
+  ASSERT_NE(Lock, nullptr);
+  FileLock::Options O;
+  O.TimeoutMs = 5000;
+  WriterLock::Result R = Lock->acquire(O);
+  ASSERT_TRUE(static_cast<bool>(R)) << R.Message;
+  Lock->heartbeat();
+  // Publishing while holding the election must work (the cold path of
+  // buildMeasurementDatabase does exactly this).
+  EXPECT_TRUE(B.put(Name, "published under the writer lock"));
+  Lock->release();
+  // Re-election after release must succeed promptly.
+  std::unique_ptr<WriterLock> Again = B.writerLock(Name);
+  WriterLock::Result R2 = Again->acquire(O);
+  EXPECT_TRUE(static_cast<bool>(R2)) << R2.Message;
+  Again->release();
+}
+
+REGISTER_TYPED_TEST_SUITE_P(CacheBackendConformance, AbsentEntryBehaves,
+                            BinaryRoundTrip, OverwriteReplacesBytes,
+                            EmptyBlobIsAnEntry, RemoveDeletes,
+                            ScanFiltersAndSizes, LargeBlobRoundTrip,
+                            LockPathContract, WriterLockCycle);
+
+} // namespace conformance
+} // namespace fgbs
+
+#endif // FGBS_TESTS_CACHE_BACKEND_CONFORMANCE_H

@@ -10,18 +10,21 @@
 //
 //   fgbs_train --suite nr|nas|synthetic --out model.fgbs [--k N]
 //              [--threads N] [--cache DIR | --no-cache]
+//              [--cache-remote HOST:PORT]
 //              [--cache-max-bytes N] [--cache-max-age SECONDS]
 //   fgbs_train --cache DIR --cache-prune [--cache-max-bytes N]
 //              [--cache-max-age SECONDS]
 //
 // Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON like every
 // other FGBS surface, plus FGBS_THREADS (default measurement fan-out),
-// FGBS_MEAS_CACHE (default measurement-cache directory), and
+// FGBS_MEAS_CACHE (default measurement-cache directory),
+// FGBS_MEAS_CACHE_REMOTE (default fgbs_cached address), and
 // FGBS_MEAS_CACHE_MAX_BYTES (default cache byte budget).
 //
 //===----------------------------------------------------------------------===//
 
 #include "fgbs/core/MeasurementCache.h"
+#include "fgbs/core/RemoteCacheBackend.h"
 #include "fgbs/obs/RunReport.h"
 #include "fgbs/obs/Trace.h"
 #include "fgbs/service/Snapshot.h"
@@ -41,6 +44,7 @@ constexpr const char *kVersion = "fgbs_train (fgbs.model.v1 writer) 1.0";
 int usage(std::ostream &OS, int Exit) {
   OS << "usage: fgbs_train --suite nr|nas|synthetic --out PATH [--k N]\n"
         "                  [--threads N] [--cache DIR | --no-cache]\n"
+        "                  [--cache-remote HOST:PORT]\n"
         "                  [--cache-max-bytes N] [--cache-max-age SEC]\n"
         "       fgbs_train --cache DIR --cache-prune\n"
         "                  [--cache-max-bytes N] [--cache-max-age SEC]\n"
@@ -64,6 +68,14 @@ int usage(std::ostream &OS, int Exit) {
         "                 publishes, the rest wait and load\n"
         "  --no-cache     never read or write the measurement cache, even\n"
         "                 when FGBS_MEAS_CACHE is set\n"
+        "  --cache-remote HOST:PORT\n"
+        "                 fgbs_cached server sharing measurements across\n"
+        "                 a fleet (default: FGBS_MEAS_CACHE_REMOTE).  With\n"
+        "                 --cache DIR the cache is tiered: local reads\n"
+        "                 first, remote hits fill the local tier, stores\n"
+        "                 replicate asynchronously.  An unreachable server\n"
+        "                 degrades to the local tier with a warning; it\n"
+        "                 never fails the run\n"
         "  --cache-max-bytes N\n"
         "                 cache entry-byte budget, LRU-pruned after each\n"
         "                 store (default: FGBS_MEAS_CACHE_MAX_BYTES, else\n"
@@ -128,6 +140,13 @@ int main(int argc, char **argv) {
       Build.Threads = static_cast<unsigned>(V);
     } else if (Arg == "--cache" && I + 1 < argc) {
       Build.CacheDir = argv[++I];
+    } else if (Arg == "--cache-remote" && I + 1 < argc) {
+      Build.CacheRemote = argv[++I];
+      RemoteCacheConfig Probe;
+      if (!parseRemoteCacheAddress(Build.CacheRemote, Probe)) {
+        std::cerr << "fgbs_train: --cache-remote needs HOST:PORT\n";
+        return usage(std::cerr, 2);
+      }
     } else if (Arg == "--no-cache") {
       Build.UseCache = false;
     } else if (Arg == "--cache-max-bytes" && I + 1 < argc) {
