@@ -11,6 +11,57 @@
 
 using namespace fgbs;
 
+std::size_t fgbs::measurementItemCount(std::size_t NumCodelets,
+                                       std::size_t NumTargets) {
+  return NumCodelets * (2 + 2 * NumTargets);
+}
+
+MeasurementItem fgbs::decodeMeasurementItem(std::size_t Item,
+                                            std::size_t NumCodelets,
+                                            std::size_t NumTargets) {
+  assert(Item < measurementItemCount(NumCodelets, NumTargets) &&
+         "item index out of range");
+  (void)NumTargets;
+  const std::size_t N = NumCodelets;
+  MeasurementItem Out;
+  Out.Codelet = Item % N;
+  if (Item < N) {
+    Out.Kind = MeasurementItemKind::ProfileRef;
+  } else if (Item < 2 * N) {
+    Out.Kind = MeasurementItemKind::StandaloneRef;
+  } else {
+    Out.Target = (Item - 2 * N) / (2 * N);
+    Out.Kind = ((Item - 2 * N) / N) % 2 == 0
+                   ? MeasurementItemKind::InAppTarget
+                   : MeasurementItemKind::StandaloneTarget;
+  }
+  return Out;
+}
+
+MeasurementItemResult fgbs::executeMeasurementItem(
+    const Codelet &C, const Machine &Reference,
+    const std::vector<Machine> &Targets, const TimingPolicy &Policy,
+    const MeasurementItem &Item, CompileCache *Compile) {
+  MeasurementItemResult Out;
+  Out.Kind = Item.Kind;
+  switch (Item.Kind) {
+  case MeasurementItemKind::ProfileRef:
+    Out.Profile = profileCodelet(C, Reference, Compile);
+    break;
+  case MeasurementItemKind::StandaloneRef:
+    Out.Standalone = measureStandalone(C, Reference, Policy, Compile);
+    break;
+  case MeasurementItemKind::InAppTarget:
+    Out.InApp = measureInApp(C, Targets[Item.Target], Compile);
+    break;
+  case MeasurementItemKind::StandaloneTarget:
+    Out.Standalone = measureStandalone(C, Targets[Item.Target], Policy,
+                                       Compile);
+    break;
+  }
+  return Out;
+}
+
 MeasurementDatabase::MeasurementDatabase(const Suite &S, Machine Ref,
                                          std::vector<Machine> Tgts,
                                          const TimingPolicy &Policy,
@@ -44,26 +95,29 @@ MeasurementDatabase::MeasurementDatabase(const Suite &S, Machine Ref,
   FGBS_GAUGE_SET("db.threads", Threads);
   ThreadPool Pool(Threads);
 
-  // Work-item index space, kind-major:
+  // Work-item index space, kind-major (decodeMeasurementItem owns it;
+  // the simulation farm distributes the same indices):
   //   [0, N)        profile codelet I on the reference (step B),
   //   [N, 2N)       standalone codelet I on the reference,
   //   [2N + 2*t*N + 0..N)   in-app ground truth of codelet I on target t,
   //   [2N + (2t+1)*N ..)    standalone codelet I on target t.
-  Pool.parallelFor(0, N * (2 + 2 * T), [&](std::size_t Item) {
-    const std::size_t I = Item % N;
-    const Codelet &C = *Codelets[I];
-    if (Item < N) {
-      Profiles[I] = profileCodelet(C, Reference, &Compile);
-    } else if (Item < 2 * N) {
-      StandaloneOnRef[I] = measureStandalone(C, Reference, Policy, &Compile);
-    } else {
-      const std::size_t Tgt = (Item - 2 * N) / (2 * N);
-      const bool InApp = ((Item - 2 * N) / N) % 2 == 0;
-      if (InApp)
-        RealTarget[Tgt][I] = measureInApp(C, Targets[Tgt], &Compile);
-      else
-        StandaloneOnTarget[Tgt][I] =
-            measureStandalone(C, Targets[Tgt], Policy, &Compile);
+  Pool.parallelFor(0, measurementItemCount(N, T), [&](std::size_t Item) {
+    const MeasurementItem M = decodeMeasurementItem(Item, N, T);
+    MeasurementItemResult R = executeMeasurementItem(
+        *Codelets[M.Codelet], Reference, Targets, Policy, M, &Compile);
+    switch (M.Kind) {
+    case MeasurementItemKind::ProfileRef:
+      Profiles[M.Codelet] = std::move(R.Profile);
+      break;
+    case MeasurementItemKind::StandaloneRef:
+      StandaloneOnRef[M.Codelet] = R.Standalone;
+      break;
+    case MeasurementItemKind::InAppTarget:
+      RealTarget[M.Target][M.Codelet] = R.InApp;
+      break;
+    case MeasurementItemKind::StandaloneTarget:
+      StandaloneOnTarget[M.Target][M.Codelet] = R.Standalone;
+      break;
     }
   });
 

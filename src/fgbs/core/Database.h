@@ -26,6 +26,56 @@
 
 namespace fgbs {
 
+class CompileCache;
+
+/// One (codelet, machine, kind) work item of the simulator sweep,
+/// decoded from the flat item index space the MeasurementDatabase ctor
+/// fans out over — and the unit of distribution for the simulation
+/// farm: a remote worker executes exactly one of these per claim.
+enum class MeasurementItemKind : std::uint32_t {
+  ProfileRef = 0,       ///< Step-B profile on the reference machine.
+  StandaloneRef = 1,    ///< Standalone microbenchmark on the reference.
+  InAppTarget = 2,      ///< Ground-truth in-app time on one target.
+  StandaloneTarget = 3, ///< Standalone microbenchmark on one target.
+};
+
+struct MeasurementItem {
+  MeasurementItemKind Kind = MeasurementItemKind::ProfileRef;
+  std::size_t Codelet = 0;
+  std::size_t Target = 0; ///< Valid for the *Target kinds only.
+};
+
+/// Total work items for a sweep of \p NumCodelets codelets over
+/// \p NumTargets targets: N * (2 + 2T).
+std::size_t measurementItemCount(std::size_t NumCodelets,
+                                 std::size_t NumTargets);
+
+/// Decodes flat index \p Item (kind-major layout, see Database.cpp) into
+/// its (kind, codelet, target) triple.  \p Item must be below
+/// measurementItemCount(\p NumCodelets, \p NumTargets).
+MeasurementItem decodeMeasurementItem(std::size_t Item,
+                                      std::size_t NumCodelets,
+                                      std::size_t NumTargets);
+
+/// The result of one work item; only the field matching Kind is set.
+struct MeasurementItemResult {
+  MeasurementItemKind Kind = MeasurementItemKind::ProfileRef;
+  CodeletProfile Profile;           ///< ProfileRef.
+  Measurement InApp;                ///< InAppTarget.
+  StandaloneMeasurement Standalone; ///< StandaloneRef/StandaloneTarget.
+};
+
+/// Executes one work item — the same calls, in the same form, the
+/// MeasurementDatabase ctor makes, so a farm worker's result is
+/// bit-identical to a local sweep's.  \p Item.Codelet indexes
+/// \p S.allCodelets(); \p Compile may be null.
+MeasurementItemResult executeMeasurementItem(const Codelet &C,
+                                             const Machine &Reference,
+                                             const std::vector<Machine> &Targets,
+                                             const TimingPolicy &Policy,
+                                             const MeasurementItem &Item,
+                                             CompileCache *Compile);
+
 /// How a MeasurementDatabase runs its simulator sweep.
 struct DatabaseOptions {
   /// Threads measuring work items.  0 = auto (the FGBS_THREADS

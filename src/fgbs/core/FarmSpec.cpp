@@ -1,0 +1,635 @@
+//===- fgbs/core/FarmSpec.cpp - fgbs.job.v1 / fgbs.part.v1 formats --------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// fgbs.job.v1 payload (after the 28-byte header; str = u32 len + bytes,
+// access = u32 array-index, u32 stride-class, u64 stride-elems (two's
+// complement), u32 points-per-iter; expr and machine as laid out by the
+// put*/read* pairs below):
+//
+//   u64  content key (must equal measurementKey over the fields below)
+//   f64  policy min-run-seconds, u64 policy min-invocations
+//   machine      reference
+//   u32 T, T x machine
+//   str  suite name
+//   u32 A applications, A x { str name, f64 coverage,
+//                             u32 C codelets, C x codelet }
+//
+// fgbs.part.v1 payload:
+//
+//   u64  content key, u64 item index, u32 kind
+//   kind ProfileRef:       u8 discarded, meas, u32 F, F x f64
+//   kind StandaloneRef:    sa
+//   kind InAppTarget:      meas
+//   kind StandaloneTarget: sa
+//
+// with meas/sa exactly the fgbs.meas.v1 encodings (core/measwire).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/core/FarmSpec.h"
+
+#include "fgbs/core/MeasurementCache.h"
+#include "fgbs/support/BinaryIo.h"
+#include "fgbs/support/Crc32.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace fgbs;
+using namespace fgbs::binio;
+
+namespace {
+
+/// Expression trees deeper than this are rejected on parse: real
+/// codelet bodies are a handful of nodes, and a crafted blob must not
+/// recurse the stack away.
+constexpr unsigned kMaxExprDepth = 512;
+
+std::string hex16(std::uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+FarmSpecError fail(FarmSpecError E, std::string *Message, const char *Why) {
+  if (Message)
+    *Message = Why;
+  return E;
+}
+
+//===--------------------------------------------------------------------===//
+// Encoders
+//===--------------------------------------------------------------------===//
+
+void putAccess(std::string &Out, const Access &A) {
+  putU32(Out, A.ArrayIndex);
+  putU32(Out, static_cast<std::uint32_t>(A.Stride));
+  putU64(Out, static_cast<std::uint64_t>(A.StrideElems));
+  putU32(Out, A.PointsPerIter);
+}
+
+void putExpr(std::string &Out, const Expr &E) {
+  putU32(Out, static_cast<std::uint32_t>(E.Kind));
+  putU32(Out, static_cast<std::uint32_t>(E.Prec));
+  switch (E.Kind) {
+  case ExprKind::Load:
+    putAccess(Out, E.Ref);
+    break;
+  case ExprKind::Constant:
+    break;
+  case ExprKind::Binary:
+    putU32(Out, static_cast<std::uint32_t>(E.Bin));
+    putExpr(Out, *E.Lhs);
+    putExpr(Out, *E.Rhs);
+    break;
+  case ExprKind::Unary:
+    putU32(Out, static_cast<std::uint32_t>(E.Un));
+    putExpr(Out, *E.Lhs);
+    break;
+  }
+}
+
+void putCodelet(std::string &Out, const Codelet &C) {
+  putStr(Out, C.Name);
+  putStr(Out, C.App);
+  putStr(Out, C.Pattern);
+  putU32(Out, static_cast<std::uint32_t>(C.Arrays.size()));
+  for (const ArrayDecl &A : C.Arrays) {
+    putStr(Out, A.Name);
+    putU32(Out, static_cast<std::uint32_t>(A.Elem));
+    putU64(Out, A.NumElements);
+  }
+  putU64(Out, C.Nest.InnerTripCount);
+  putU64(Out, C.Nest.OuterIterations);
+  putU32(Out, static_cast<std::uint32_t>(C.Body.size()));
+  for (const Stmt &S : C.Body) {
+    putU32(Out, static_cast<std::uint32_t>(S.Kind));
+    putAccess(Out, S.Target);
+    putU32(Out, static_cast<std::uint32_t>(S.ReduceOp));
+    Out.push_back(S.Rhs ? 1 : 0);
+    if (S.Rhs)
+      putExpr(Out, *S.Rhs);
+  }
+  putU32(Out, static_cast<std::uint32_t>(C.Invocations.size()));
+  for (const InvocationGroup &G : C.Invocations) {
+    putU64(Out, G.Count);
+    putF64(Out, G.DatasetScale);
+  }
+  Out.push_back(static_cast<char>(
+      (C.Traits.CompilationContextSensitive ? 2 : 0) |
+      (C.Traits.CacheStateSensitive ? 1 : 0)));
+}
+
+void putMachine(std::string &Out, const Machine &M) {
+  putStr(Out, M.Name);
+  putStr(Out, M.Cpu);
+  putF64(Out, M.FrequencyGHz);
+  putU32(Out, M.Cores);
+  putU32(Out, M.RamGB);
+  Out.push_back(M.OutOfOrder ? 1 : 0);
+  putU32(Out, M.IssueWidth);
+  putU32(Out, M.VectorBits);
+  putU32(Out, M.NumFpRegisters);
+  const CoreTimings &T = M.Timings;
+  for (double V : {T.FpAddLatency, T.FpMulLatency, T.FpDivLatencySP,
+                   T.FpDivLatencyDP, T.FpSqrtLatency, T.FpExpCost,
+                   T.IntAddLatency, T.IntMulLatency,
+                   T.VectorFpThroughputFactor, T.VectorDpThroughputFactor})
+    putF64(Out, V);
+  putU32(Out, static_cast<std::uint32_t>(M.CacheLevels.size()));
+  for (const CacheLevelConfig &L : M.CacheLevels) {
+    putStr(Out, L.Name);
+    putU64(Out, L.SizeBytes);
+    putU32(Out, L.Associativity);
+    putU32(Out, L.LineBytes);
+    putF64(Out, L.LatencyCycles);
+    putF64(Out, L.BandwidthBytesPerCycle);
+  }
+  putF64(Out, M.MemLatencyCycles);
+  putF64(Out, M.MemBandwidthGBs);
+}
+
+std::string withHeader(const char (&Magic)[8], const std::string &Payload) {
+  std::string Out;
+  Out.reserve(kFarmHeaderBytes + Payload.size());
+  Out.append(Magic, sizeof(Magic));
+  putU32(Out, kFarmVersionMajor);
+  putU32(Out, kFarmVersionMinor);
+  putU64(Out, Payload.size());
+  putU32(Out, crc32(Payload));
+  Out.append(Payload);
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// Decoders
+//===--------------------------------------------------------------------===//
+
+bool readAccess(ByteReader &In, Access &A) {
+  A.ArrayIndex = In.u32();
+  std::uint32_t Stride = In.u32();
+  A.StrideElems = static_cast<std::int64_t>(In.u64());
+  A.PointsPerIter = In.u32();
+  if (In.overrun() || Stride > static_cast<std::uint32_t>(StrideClass::Stencil))
+    return false;
+  A.Stride = static_cast<StrideClass>(Stride);
+  return true;
+}
+
+ExprPtr readExpr(ByteReader &In, unsigned Depth) {
+  if (Depth > kMaxExprDepth)
+    return nullptr;
+  std::uint32_t Kind = In.u32();
+  std::uint32_t Prec = In.u32();
+  if (In.overrun() || Kind > static_cast<std::uint32_t>(ExprKind::Unary) ||
+      Prec > static_cast<std::uint32_t>(Precision::I64))
+    return nullptr;
+  auto E = std::make_unique<Expr>();
+  E->Kind = static_cast<ExprKind>(Kind);
+  E->Prec = static_cast<Precision>(Prec);
+  switch (E->Kind) {
+  case ExprKind::Load:
+    if (!readAccess(In, E->Ref))
+      return nullptr;
+    break;
+  case ExprKind::Constant:
+    break;
+  case ExprKind::Binary: {
+    std::uint32_t Bin = In.u32();
+    if (In.overrun() || Bin > static_cast<std::uint32_t>(BinOp::Div))
+      return nullptr;
+    E->Bin = static_cast<BinOp>(Bin);
+    E->Lhs = readExpr(In, Depth + 1);
+    E->Rhs = readExpr(In, Depth + 1);
+    if (!E->Lhs || !E->Rhs)
+      return nullptr;
+    break;
+  }
+  case ExprKind::Unary: {
+    std::uint32_t Un = In.u32();
+    if (In.overrun() || Un > static_cast<std::uint32_t>(UnOp::Abs))
+      return nullptr;
+    E->Un = static_cast<UnOp>(Un);
+    E->Lhs = readExpr(In, Depth + 1);
+    if (!E->Lhs)
+      return nullptr;
+    break;
+  }
+  }
+  return E;
+}
+
+bool readCodelet(ByteReader &In, Codelet &C) {
+  C.Name = In.str();
+  C.App = In.str();
+  C.Pattern = In.str();
+  std::uint32_t Arrays = In.u32();
+  if (In.overrun() || Arrays > In.remaining() / 4)
+    return false;
+  C.Arrays.clear();
+  C.Arrays.reserve(Arrays);
+  for (std::uint32_t I = 0; I < Arrays; ++I) {
+    ArrayDecl A;
+    A.Name = In.str();
+    std::uint32_t Prec = In.u32();
+    A.NumElements = In.u64();
+    if (In.overrun() || Prec > static_cast<std::uint32_t>(Precision::I64))
+      return false;
+    A.Elem = static_cast<Precision>(Prec);
+    C.Arrays.push_back(std::move(A));
+  }
+  C.Nest.InnerTripCount = In.u64();
+  C.Nest.OuterIterations = In.u64();
+  std::uint32_t Body = In.u32();
+  if (In.overrun() || Body > In.remaining() / 4)
+    return false;
+  C.Body.clear();
+  C.Body.reserve(Body);
+  for (std::uint32_t I = 0; I < Body; ++I) {
+    Stmt S;
+    std::uint32_t Kind = In.u32();
+    if (In.overrun() || Kind > static_cast<std::uint32_t>(StmtKind::Recurrence))
+      return false;
+    S.Kind = static_cast<StmtKind>(Kind);
+    if (!readAccess(In, S.Target))
+      return false;
+    std::uint32_t Reduce = In.u32();
+    if (In.overrun() || Reduce > static_cast<std::uint32_t>(BinOp::Div))
+      return false;
+    S.ReduceOp = static_cast<BinOp>(Reduce);
+    std::uint8_t HasRhs = In.u8();
+    if (In.overrun() || HasRhs > 1)
+      return false;
+    if (HasRhs) {
+      S.Rhs = readExpr(In, 0);
+      if (!S.Rhs)
+        return false;
+    }
+    C.Body.push_back(std::move(S));
+  }
+  std::uint32_t Groups = In.u32();
+  if (In.overrun() || Groups > In.remaining() / 16)
+    return false;
+  C.Invocations.clear();
+  C.Invocations.reserve(Groups);
+  for (std::uint32_t I = 0; I < Groups; ++I) {
+    InvocationGroup G;
+    G.Count = In.u64();
+    G.DatasetScale = In.f64();
+    if (!std::isfinite(G.DatasetScale))
+      return false;
+    C.Invocations.push_back(G);
+  }
+  std::uint8_t Traits = In.u8();
+  if (In.overrun() || Traits > 3)
+    return false;
+  C.Traits.CompilationContextSensitive = (Traits & 2) != 0;
+  C.Traits.CacheStateSensitive = (Traits & 1) != 0;
+  return true;
+}
+
+bool readMachine(ByteReader &In, Machine &M) {
+  M.Name = In.str();
+  M.Cpu = In.str();
+  M.FrequencyGHz = In.f64();
+  M.Cores = In.u32();
+  M.RamGB = In.u32();
+  std::uint8_t Ooo = In.u8();
+  M.IssueWidth = In.u32();
+  M.VectorBits = In.u32();
+  M.NumFpRegisters = In.u32();
+  if (In.overrun() || Ooo > 1 || !std::isfinite(M.FrequencyGHz))
+    return false;
+  M.OutOfOrder = Ooo != 0;
+  CoreTimings &T = M.Timings;
+  for (double *V : {&T.FpAddLatency, &T.FpMulLatency, &T.FpDivLatencySP,
+                    &T.FpDivLatencyDP, &T.FpSqrtLatency, &T.FpExpCost,
+                    &T.IntAddLatency, &T.IntMulLatency,
+                    &T.VectorFpThroughputFactor, &T.VectorDpThroughputFactor}) {
+    *V = In.f64();
+    if (!In.overrun() && !std::isfinite(*V))
+      return false;
+  }
+  std::uint32_t Levels = In.u32();
+  if (In.overrun() || Levels > In.remaining() / 24)
+    return false;
+  M.CacheLevels.clear();
+  M.CacheLevels.reserve(Levels);
+  for (std::uint32_t I = 0; I < Levels; ++I) {
+    CacheLevelConfig L;
+    L.Name = In.str();
+    L.SizeBytes = In.u64();
+    L.Associativity = In.u32();
+    L.LineBytes = In.u32();
+    L.LatencyCycles = In.f64();
+    L.BandwidthBytesPerCycle = In.f64();
+    if (In.overrun() || !std::isfinite(L.LatencyCycles) ||
+        !std::isfinite(L.BandwidthBytesPerCycle))
+      return false;
+    M.CacheLevels.push_back(std::move(L));
+  }
+  M.MemLatencyCycles = In.f64();
+  M.MemBandwidthGBs = In.f64();
+  return !In.overrun() && std::isfinite(M.MemLatencyCycles) &&
+         std::isfinite(M.MemBandwidthGBs);
+}
+
+/// Validates the shared header discipline; on success \p PayloadOut
+/// views the checksummed payload.
+FarmSpecError checkHeader(std::string_view Bytes, const char (&Magic)[8],
+                          std::string_view &PayloadOut,
+                          std::string *Message) {
+  if (Bytes.size() >= sizeof(Magic) &&
+      std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+    return fail(FarmSpecError::BadMagic, Message, "wrong leading magic");
+  if (Bytes.size() < kFarmHeaderBytes)
+    return fail(FarmSpecError::Truncated, Message,
+                "shorter than the farm blob header");
+  ByteReader Header(Bytes.substr(sizeof(Magic),
+                                 kFarmHeaderBytes - sizeof(Magic)));
+  std::uint32_t Major = Header.u32();
+  Header.u32(); // minor: forward-compatible, trailing bytes checked below
+  std::uint64_t PayloadSize = Header.u64();
+  std::uint32_t Crc = Header.u32();
+  if (Major != kFarmVersionMajor)
+    return fail(FarmSpecError::UnsupportedVersion, Message,
+                "farm blob major version this reader does not speak");
+  std::string_view Payload = Bytes.substr(kFarmHeaderBytes);
+  if (Payload.size() < PayloadSize)
+    return fail(FarmSpecError::Truncated, Message,
+                "payload shorter than the header announces");
+  if (Payload.size() > PayloadSize)
+    return fail(FarmSpecError::Malformed, Message,
+                "trailing bytes after the announced payload");
+  if (crc32(Payload) != Crc)
+    return fail(FarmSpecError::ChecksumMismatch, Message,
+                "payload bytes do not match the stored CRC-32");
+  PayloadOut = Payload;
+  return FarmSpecError::None;
+}
+
+} // namespace
+
+std::string fgbs::farmJobEntryName(std::uint64_t Key) {
+  return "fgbs-job-" + hex16(Key) + ".v1";
+}
+
+std::string fgbs::farmPartEntryName(std::uint64_t Key, std::size_t Item) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%08llx",
+                static_cast<unsigned long long>(Item));
+  return farmPartEntryPrefix(Key) + Buf + ".v1";
+}
+
+std::string fgbs::farmPartEntryPrefix(std::uint64_t Key) {
+  return "fgbs-part-" + hex16(Key) + "-";
+}
+
+bool fgbs::parseFarmPartEntryName(std::string_view Name, std::uint64_t Key,
+                                  std::size_t &ItemOut) {
+  const std::string Prefix = farmPartEntryPrefix(Key);
+  constexpr std::string_view Suffix = ".v1";
+  if (Name.size() != Prefix.size() + 8 + Suffix.size() ||
+      Name.substr(0, Prefix.size()) != Prefix ||
+      Name.substr(Name.size() - Suffix.size()) != Suffix)
+    return false;
+  std::size_t Item = 0;
+  for (std::size_t I = 0; I < 8; ++I) {
+    char C = Name[Prefix.size() + I];
+    unsigned V;
+    if (C >= '0' && C <= '9')
+      V = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V = static_cast<unsigned>(C - 'a') + 10;
+    else
+      return false;
+    Item = (Item << 4) | V;
+  }
+  ItemOut = Item;
+  return true;
+}
+
+const char *fgbs::farmSpecErrorName(FarmSpecError E) {
+  switch (E) {
+  case FarmSpecError::None:
+    return "none";
+  case FarmSpecError::Truncated:
+    return "truncated";
+  case FarmSpecError::BadMagic:
+    return "bad_magic";
+  case FarmSpecError::UnsupportedVersion:
+    return "unsupported_version";
+  case FarmSpecError::ChecksumMismatch:
+    return "checksum_mismatch";
+  case FarmSpecError::KeyMismatch:
+    return "key_mismatch";
+  case FarmSpecError::Malformed:
+    return "malformed";
+  case FarmSpecError::InvalidValue:
+    return "invalid_value";
+  }
+  return "unknown";
+}
+
+std::string fgbs::serializeFarmJob(const Suite &S, const Machine &Reference,
+                                   const std::vector<Machine> &Targets,
+                                   const TimingPolicy &Policy,
+                                   std::uint64_t Key) {
+  std::string Payload;
+  putU64(Payload, Key);
+  putF64(Payload, Policy.MinRunSeconds);
+  putU64(Payload, Policy.MinInvocations);
+  putMachine(Payload, Reference);
+  putU32(Payload, static_cast<std::uint32_t>(Targets.size()));
+  for (const Machine &M : Targets)
+    putMachine(Payload, M);
+  putStr(Payload, S.Name);
+  putU32(Payload, static_cast<std::uint32_t>(S.Applications.size()));
+  for (const Application &A : S.Applications) {
+    putStr(Payload, A.Name);
+    putF64(Payload, A.Coverage);
+    putU32(Payload, static_cast<std::uint32_t>(A.Codelets.size()));
+    for (const Codelet &C : A.Codelets)
+      putCodelet(Payload, C);
+  }
+  return withHeader(kFarmJobMagic, Payload);
+}
+
+FarmSpecError fgbs::parseFarmJob(std::string_view Bytes, FarmJob &Out,
+                                 std::string *Message) {
+  std::string_view Payload;
+  if (FarmSpecError E = checkHeader(Bytes, kFarmJobMagic, Payload, Message);
+      E != FarmSpecError::None)
+    return E;
+
+  ByteReader In(Payload);
+  FarmJob Job;
+  Job.Key = In.u64();
+  Job.Policy.MinRunSeconds = In.f64();
+  Job.Policy.MinInvocations = In.u64();
+  if (In.overrun() || !std::isfinite(Job.Policy.MinRunSeconds))
+    return fail(FarmSpecError::Malformed, Message, "damaged policy block");
+  if (!readMachine(In, Job.Reference))
+    return fail(FarmSpecError::Malformed, Message,
+                "damaged reference machine");
+  std::uint32_t T = In.u32();
+  if (In.overrun() || T > In.remaining())
+    return fail(FarmSpecError::Malformed, Message, "damaged target count");
+  Job.Targets.resize(T);
+  for (std::uint32_t I = 0; I < T; ++I)
+    if (!readMachine(In, Job.Targets[I]))
+      return fail(FarmSpecError::Malformed, Message,
+                  "damaged target machine");
+  Job.S.Name = In.str();
+  std::uint32_t Apps = In.u32();
+  if (In.overrun() || Apps > In.remaining())
+    return fail(FarmSpecError::Malformed, Message,
+                "damaged application count");
+  Job.S.Applications.resize(Apps);
+  for (std::uint32_t A = 0; A < Apps; ++A) {
+    Application &App = Job.S.Applications[A];
+    App.Name = In.str();
+    App.Coverage = In.f64();
+    std::uint32_t Codelets = In.u32();
+    if (In.overrun() || !std::isfinite(App.Coverage) ||
+        Codelets > In.remaining())
+      return fail(FarmSpecError::Malformed, Message,
+                  "damaged application block");
+    App.Codelets.resize(Codelets);
+    for (std::uint32_t C = 0; C < Codelets; ++C)
+      if (!readCodelet(In, App.Codelets[C]))
+        return fail(FarmSpecError::Malformed, Message, "damaged codelet");
+  }
+  if (In.overrun())
+    return fail(FarmSpecError::Truncated, Message,
+                "payload ends inside the suite");
+  if (!In.atEnd())
+    return fail(FarmSpecError::Malformed, Message,
+                "trailing garbage after the suite");
+
+  // The integrity check that makes the farm safe: the key the blob
+  // claims must be the key its reconstructed inputs hash to, so a
+  // worker can never compute results for inputs that do not match the
+  // entry names it publishes under.
+  const std::uint64_t Derived =
+      measurementKey(Job.S, Job.Reference, Job.Targets, Job.Policy);
+  if (Derived != Job.Key)
+    return fail(FarmSpecError::KeyMismatch, Message,
+                "reconstructed inputs do not hash to the stored key");
+  Out = std::move(Job);
+  return FarmSpecError::None;
+}
+
+std::string fgbs::encodeFarmWorkSpec(const FarmWorkSpec &Spec) {
+  std::string Out;
+  putStr(Out, Spec.JobEntry);
+  putU64(Out, Spec.Key);
+  putU64(Out, Spec.Item);
+  return Out;
+}
+
+bool fgbs::decodeFarmWorkSpec(std::string_view Bytes, FarmWorkSpec &Out) {
+  ByteReader In(Bytes);
+  FarmWorkSpec Spec;
+  Spec.JobEntry = In.str();
+  Spec.Key = In.u64();
+  Spec.Item = In.u64();
+  if (In.overrun() || !In.atEnd() || Spec.JobEntry.empty())
+    return false;
+  Out = std::move(Spec);
+  return true;
+}
+
+std::string fgbs::serializeFarmPart(std::uint64_t Key, std::size_t Item,
+                                    const MeasurementItemResult &R) {
+  std::string Payload;
+  putU64(Payload, Key);
+  putU64(Payload, Item);
+  putU32(Payload, static_cast<std::uint32_t>(R.Kind));
+  switch (R.Kind) {
+  case MeasurementItemKind::ProfileRef:
+    Payload.push_back(R.Profile.Discarded ? 1 : 0);
+    measwire::putMeasurement(Payload, R.Profile.InApp);
+    putU32(Payload, static_cast<std::uint32_t>(R.Profile.Features.size()));
+    for (double V : R.Profile.Features)
+      putF64(Payload, V);
+    break;
+  case MeasurementItemKind::InAppTarget:
+    measwire::putMeasurement(Payload, R.InApp);
+    break;
+  case MeasurementItemKind::StandaloneRef:
+  case MeasurementItemKind::StandaloneTarget:
+    measwire::putStandalone(Payload, R.Standalone);
+    break;
+  }
+  return withHeader(kFarmPartMagic, Payload);
+}
+
+FarmSpecError fgbs::parseFarmPart(std::string_view Bytes,
+                                  std::uint64_t ExpectedKey,
+                                  std::size_t ExpectedItem,
+                                  MeasurementItemResult &Out,
+                                  std::string *Message) {
+  std::string_view Payload;
+  if (FarmSpecError E = checkHeader(Bytes, kFarmPartMagic, Payload, Message);
+      E != FarmSpecError::None)
+    return E;
+
+  ByteReader In(Payload);
+  std::uint64_t Key = In.u64();
+  std::uint64_t Item = In.u64();
+  std::uint32_t Kind = In.u32();
+  if (In.overrun() ||
+      Kind > static_cast<std::uint32_t>(MeasurementItemKind::StandaloneTarget))
+    return fail(FarmSpecError::Malformed, Message, "damaged part identity");
+  if (Key != ExpectedKey || Item != ExpectedItem)
+    return fail(FarmSpecError::KeyMismatch, Message,
+                "part key/item do not match the slot being filled");
+
+  MeasurementItemResult R;
+  R.Kind = static_cast<MeasurementItemKind>(Kind);
+  switch (R.Kind) {
+  case MeasurementItemKind::ProfileRef: {
+    std::uint8_t Discarded = In.u8();
+    if (In.overrun() || Discarded > 1)
+      return fail(FarmSpecError::Malformed, Message, "damaged profile flag");
+    R.Profile.Discarded = Discarded != 0;
+    if (!measwire::readMeasurement(In, R.Profile.InApp))
+      return fail(FarmSpecError::InvalidValue, Message,
+                  "invalid profile measurement");
+    std::uint32_t F = In.u32();
+    if (In.overrun() || F > In.remaining() / 8)
+      return fail(FarmSpecError::Malformed, Message,
+                  "damaged feature vector");
+    R.Profile.Features = In.f64Vector(F);
+    for (double V : R.Profile.Features)
+      if (!std::isfinite(V))
+        return fail(FarmSpecError::InvalidValue, Message,
+                    "non-finite feature value");
+    break;
+  }
+  case MeasurementItemKind::InAppTarget:
+    if (!measwire::readMeasurement(In, R.InApp))
+      return fail(FarmSpecError::InvalidValue, Message,
+                  "invalid in-app measurement");
+    break;
+  case MeasurementItemKind::StandaloneRef:
+  case MeasurementItemKind::StandaloneTarget:
+    if (!measwire::readStandalone(In, R.Standalone))
+      return fail(FarmSpecError::InvalidValue, Message,
+                  "invalid standalone measurement");
+    break;
+  }
+  if (In.overrun())
+    return fail(FarmSpecError::Truncated, Message,
+                "payload ends inside the measurement");
+  if (!In.atEnd())
+    return fail(FarmSpecError::Malformed, Message,
+                "trailing garbage after the measurement");
+  Out = std::move(R);
+  return FarmSpecError::None;
+}

@@ -1,0 +1,140 @@
+//===- fgbs/core/FarmSpec.h - fgbs.job.v1 / fgbs.part.v1 formats -*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data plane of the distributed simulation farm.  Three artifacts,
+/// all ordinary cache entries on the fgbs_cached server:
+///
+/// 1. The *job blob* ("fgbs-job-<16 hex key>.v1", format fgbs.job.v1):
+///    everything a worker needs to reproduce any work item of one
+///    measurement sweep — the full suite (codelets with their expression
+///    trees), the reference and target machine descriptions, and the
+///    timing policy.  Published once per key by the enqueuing trainer;
+///    workers fetch and memoize it.  A parsed job recomputes
+///    measurementKey over the reconstructed inputs and rejects the blob
+///    on mismatch, so a worker can never publish results under a key its
+///    inputs do not hash to.
+///
+/// 2. The *work spec* (opaque string carried through the EnqueueWork /
+///    ClaimWork queue): { job entry name, key, item index } — a few
+///    dozen bytes, so the queue stays cheap no matter how large the
+///    suite is.
+///
+/// 3. The *part blob* ("fgbs-part-<16 hex key>-<8 hex item>.v1", format
+///    fgbs.part.v1): one executed MeasurementItemResult, published by a
+///    worker via an ordinary Put.  The enqueuing trainer polls a prefix
+///    scan for these and assembles the full database once every index is
+///    present.  Parts are idempotent: re-simulating an item yields
+///    byte-identical bytes (the simulator is deterministic), so a
+///    requeued item completed twice is harmless.
+///
+/// Both blob formats carry the repo-wide 28-byte header discipline
+/// (magic, version major/minor, payload size, CRC-32) and parse with
+/// typed errors; a damaged blob is reported, never trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_FARMSPEC_H
+#define FGBS_CORE_FARMSPEC_H
+
+#include "fgbs/core/Database.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fgbs {
+
+/// Leading bytes of a job blob.
+inline constexpr char kFarmJobMagic[8] = {'F', 'G', 'B', 'S', 'J', 'O', 'B',
+                                          '1'};
+/// Leading bytes of a part blob.
+inline constexpr char kFarmPartMagic[8] = {'F', 'G', 'B', 'S', 'P', 'R', 'T',
+                                           '1'};
+inline constexpr std::uint32_t kFarmVersionMajor = 1;
+inline constexpr std::uint32_t kFarmVersionMinor = 0;
+inline constexpr std::size_t kFarmHeaderBytes = 28;
+
+/// Cache entry names.  The 16 hex key digits route job and part entries
+/// of one sweep by content hash (non-canonical names fall to the CRC
+/// shard route, which is fine — they just spread differently).
+std::string farmJobEntryName(std::uint64_t Key);
+std::string farmPartEntryName(std::uint64_t Key, std::size_t Item);
+/// The scan prefix matching every part of \p Key's sweep.
+std::string farmPartEntryPrefix(std::uint64_t Key);
+/// Recovers the item index from a part entry name of \p Key's sweep;
+/// false when \p Name is not such a part name.
+bool parseFarmPartEntryName(std::string_view Name, std::uint64_t Key,
+                            std::size_t &ItemOut);
+
+/// Why a farm blob or spec failed to parse.  Deliberately the same
+/// taxonomy as MeasurementCacheError, minus the cache-only values.
+enum class FarmSpecError {
+  None,
+  Truncated,
+  BadMagic,
+  UnsupportedVersion,
+  ChecksumMismatch,
+  KeyMismatch, ///< Reconstructed inputs do not hash to the stored key.
+  Malformed,
+  InvalidValue,
+};
+const char *farmSpecErrorName(FarmSpecError E);
+
+/// A reconstructed job: self-owning copies of everything a worker needs
+/// to execute items (the suite the codelet profiles point into lives
+/// here, so keep the FarmJob alive as long as any result built from it).
+struct FarmJob {
+  std::uint64_t Key = 0;
+  Suite S;
+  Machine Reference;
+  std::vector<Machine> Targets;
+  TimingPolicy Policy;
+
+  std::size_t itemCount() const {
+    return measurementItemCount(S.numCodelets(), Targets.size());
+  }
+};
+
+/// Serializes a job blob for \p Key (the caller computed it via
+/// measurementKey over the same inputs).
+std::string serializeFarmJob(const Suite &S, const Machine &Reference,
+                             const std::vector<Machine> &Targets,
+                             const TimingPolicy &Policy, std::uint64_t Key);
+
+/// Parses and validates a job blob: header discipline, structural
+/// bounds, and the recomputed-key check.  On success \p Out holds deep
+/// copies of every input.
+FarmSpecError parseFarmJob(std::string_view Bytes, FarmJob &Out,
+                           std::string *Message = nullptr);
+
+/// The queue-carried work spec: which job, which item.
+struct FarmWorkSpec {
+  std::string JobEntry; ///< Cache entry name of the job blob.
+  std::uint64_t Key = 0;
+  std::uint64_t Item = 0;
+};
+
+std::string encodeFarmWorkSpec(const FarmWorkSpec &Spec);
+bool decodeFarmWorkSpec(std::string_view Bytes, FarmWorkSpec &Out);
+
+/// Serializes one executed item as a part blob.
+std::string serializeFarmPart(std::uint64_t Key, std::size_t Item,
+                              const MeasurementItemResult &R);
+
+/// Parses a part blob.  \p ExpectedKey/\p ExpectedItem pin the part to
+/// the slot the assembler is filling; the result's codelet pointer is
+/// left null for ProfileRef parts — the assembler rebinds it onto the
+/// live suite (exactly as parseMeasurements does).
+FarmSpecError parseFarmPart(std::string_view Bytes, std::uint64_t ExpectedKey,
+                            std::size_t ExpectedItem,
+                            MeasurementItemResult &Out,
+                            std::string *Message = nullptr);
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_FARMSPEC_H

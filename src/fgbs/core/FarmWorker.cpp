@@ -1,0 +1,193 @@
+//===- fgbs/core/FarmWorker.cpp - Simulation-farm worker loop -------------===//
+
+#include "fgbs/core/FarmWorker.h"
+
+#include "fgbs/compiler/CompileCache.h"
+#include "fgbs/core/FarmSpec.h"
+#include "fgbs/obs/Metrics.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+
+using namespace fgbs;
+
+namespace {
+
+std::uint64_t steadyMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void sleepMs(std::uint64_t Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+/// A fetched-and-validated job, memoized per key: the suite the result
+/// profiles point into, the codelet pointer table, and the compile memo
+/// shared by every item of the sweep.
+struct JobContext {
+  FarmJob Job;
+  std::vector<const Codelet *> Codelets;
+  CompileCache Compile;
+};
+
+/// How a claimed item was retired.
+enum class ItemOutcome {
+  Executed,       ///< Simulated, part published, completed.
+  AlreadyPresent, ///< Part existed; completed without simulating.
+  BadSpec,        ///< Undecodable/out-of-range; completed to retire it
+                  ///< (the enqueuer re-enqueues a fresh spec if the
+                  ///< part is still missing).
+  Abandoned,      ///< Returned to the queue for another worker.
+};
+
+ItemOutcome
+runOneItem(RemoteCacheBackend &Backend,
+           std::map<std::uint64_t, std::unique_ptr<JobContext>> &Jobs,
+           const net::ClaimedWork &Work, std::uint64_t Token) {
+  auto retire = [&](ItemOutcome Outcome) {
+    if (Outcome == ItemOutcome::Abandoned)
+      Backend.abandonWork(Work.Name, Token);
+    else
+      Backend.completeWork(Work.Name, Token);
+    return Outcome;
+  };
+
+  FarmWorkSpec Spec;
+  if (!decodeFarmWorkSpec(Work.Spec, Spec))
+    return retire(ItemOutcome::BadSpec);
+
+  // Idempotence fast path: a requeue of an item some earlier worker
+  // already published costs one exists() round trip, not a simulation.
+  const std::string PartName = farmPartEntryName(Spec.Key, Spec.Item);
+  if (Backend.exists(PartName))
+    return retire(ItemOutcome::AlreadyPresent);
+
+  JobContext *Ctx = nullptr;
+  if (auto It = Jobs.find(Spec.Key); It != Jobs.end()) {
+    Ctx = It->second.get();
+  } else {
+    // First item of this sweep: fetch and validate the job blob.  A
+    // missing or damaged blob is not this worker's fault — abandon so
+    // the item requeues and retries once the enqueuer has published
+    // (or republished) it.
+    std::string Bytes;
+    if (!Backend.get(Spec.JobEntry, Bytes))
+      return retire(ItemOutcome::Abandoned);
+    auto Fresh = std::make_unique<JobContext>();
+    if (parseFarmJob(Bytes, Fresh->Job) != FarmSpecError::None ||
+        Fresh->Job.Key != Spec.Key)
+      return retire(ItemOutcome::Abandoned);
+    Fresh->Codelets = Fresh->Job.S.allCodelets();
+    Ctx = Jobs.emplace(Spec.Key, std::move(Fresh)).first->second.get();
+  }
+
+  if (Spec.Item >= Ctx->Job.itemCount())
+    return retire(ItemOutcome::BadSpec);
+
+  const MeasurementItem Item = decodeMeasurementItem(
+      Spec.Item, Ctx->Codelets.size(), Ctx->Job.Targets.size());
+  const MeasurementItemResult R = executeMeasurementItem(
+      *Ctx->Codelets[Item.Codelet], Ctx->Job.Reference, Ctx->Job.Targets,
+      Ctx->Job.Policy, Item, &Ctx->Compile);
+
+  // Publish before completing: if the put fails (server briefly gone)
+  // the lease lapses and the item requeues — never a completed item
+  // without a durable part.
+  if (!Backend.put(PartName, serializeFarmPart(Spec.Key, Spec.Item, R)))
+    return retire(ItemOutcome::Abandoned);
+  return retire(ItemOutcome::Executed);
+}
+
+} // namespace
+
+WorkerStats fgbs::runWorkerLoop(const WorkerConfig &Config) {
+  RemoteCacheBackend Backend(Config.Remote);
+  const std::uint64_t Token =
+      Config.Token ? Config.Token : makeOwnerToken();
+  const std::uint64_t LeaseTtlMs =
+      Config.LeaseTtlMs ? Config.LeaseTtlMs : 30000;
+  const std::uint64_t PollMs = Config.PollMs ? Config.PollMs : 200;
+
+  WorkerStats Stats;
+  std::map<std::uint64_t, std::unique_ptr<JobContext>> Jobs;
+  std::vector<net::ClaimedWork> Batch;
+  unsigned IdleRounds = 0;
+  std::uint64_t IdleSinceMs = steadyMs();
+
+  auto stopping = [&] { return Config.Stop && Config.Stop->load(); };
+  auto budgetDone = [&] {
+    return Config.MaxItems && Stats.Executed >= Config.MaxItems;
+  };
+
+  while (!stopping() && !budgetDone()) {
+    Batch.clear();
+    const std::uint32_t Want = Config.ClaimBatch ? Config.ClaimBatch : 1;
+    Backend.claimWork(Token, LeaseTtlMs, Want, Batch);
+
+    if (Batch.empty()) {
+      // Empty queue and network failure look the same on purpose: poll
+      // again on a jittered, backed-off schedule.
+      const std::uint64_t Now = steadyMs();
+      if (Config.IdleExitMs && Now - IdleSinceMs >= Config.IdleExitMs)
+        break;
+      sleepMs(retryBackoffMs(IdleRounds < 3 ? IdleRounds : 3, PollMs,
+                             PollMs * 8, Token));
+      ++IdleRounds;
+      continue;
+    }
+    IdleRounds = 0;
+    IdleSinceMs = steadyMs();
+    Stats.Claimed += Batch.size();
+    FGBS_COUNTER_ADD("farm.worker.claimed", Batch.size());
+
+    if (Config.PostClaimDelayMs)
+      sleepMs(Config.PostClaimDelayMs);
+
+    for (std::size_t I = 0; I < Batch.size(); ++I) {
+      if (stopping() || budgetDone()) {
+        // Hand unworked items straight back instead of letting their
+        // leases run out.
+        for (std::size_t J = I; J < Batch.size(); ++J) {
+          Backend.abandonWork(Batch[J].Name, Token);
+          ++Stats.Abandoned;
+        }
+        break;
+      }
+      // Renew the leases of everything still unworked in this batch so
+      // a slow simulation at the front cannot let the tail expire.
+      if (I > 0) {
+        std::vector<std::string> Remaining;
+        for (std::size_t J = I; J < Batch.size(); ++J)
+          Remaining.push_back(Batch[J].Name);
+        Backend.heartbeatWork(Token, LeaseTtlMs, Remaining);
+      }
+      switch (runOneItem(Backend, Jobs, Batch[I], Token)) {
+      case ItemOutcome::Executed:
+        ++Stats.Executed;
+        ++Stats.Completed;
+        FGBS_COUNTER_ADD("farm.worker.executed", 1);
+        break;
+      case ItemOutcome::AlreadyPresent:
+        ++Stats.AlreadyPresent;
+        ++Stats.Completed;
+        FGBS_COUNTER_ADD("farm.worker.already_present", 1);
+        break;
+      case ItemOutcome::BadSpec:
+        ++Stats.BadSpecs;
+        FGBS_COUNTER_ADD("farm.worker.bad_specs", 1);
+        break;
+      case ItemOutcome::Abandoned:
+        ++Stats.Abandoned;
+        FGBS_COUNTER_ADD("farm.worker.abandoned", 1);
+        break;
+      }
+      IdleSinceMs = steadyMs();
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,84 @@
+//===- fgbs/core/FarmWorker.h - Simulation-farm worker loop ----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compute half of the distributed simulation farm: a loop that
+/// claims work items from an fgbs_cached coordinator, executes them
+/// through the same (codelet, machine, kind) item executor the
+/// in-process sweep uses, and publishes each result as a part blob.
+///
+/// The loop is deliberately crash-oblivious.  It holds no state a
+/// SIGKILL could corrupt: claims are leases that expire server-side,
+/// part publishes are atomic cache puts, and CompleteWork is only sent
+/// after the part is durably stored.  A worker that dies at any point
+/// leaves items that simply requeue after their lease TTL.
+///
+/// One function serves three hosts: the fgbs_worker tool, the embedded
+/// --workers threads of fgbs_cached, and forked children in the
+/// fault-injection tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_CORE_FARMWORKER_H
+#define FGBS_CORE_FARMWORKER_H
+
+#include "fgbs/core/RemoteCacheBackend.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace fgbs {
+
+/// Tuning for one runWorkerLoop() invocation.
+struct WorkerConfig {
+  /// Coordinator address and transport tuning.
+  RemoteCacheConfig Remote;
+  /// Claim lease TTL: how long a crashed worker's items stay stuck
+  /// before the coordinator requeues them.
+  std::uint64_t LeaseTtlMs = 30000;
+  /// Items requested per ClaimWork round trip.
+  std::uint32_t ClaimBatch = 4;
+  /// Base idle poll interval; jittered and backed off up to 8x while
+  /// the queue stays empty.
+  std::uint64_t PollMs = 200;
+  /// Exit once the queue has been empty this long (0 = run until
+  /// \p Stop or the item budget).
+  std::uint64_t IdleExitMs = 0;
+  /// Stop after executing this many items (0 = unlimited).
+  std::uint64_t MaxItems = 0;
+  /// Cooperative shutdown flag; may be null.
+  std::atomic<bool> *Stop = nullptr;
+  /// Test hook: sleep this long after a successful claim before doing
+  /// any work, holding the lease without progress — the window the
+  /// fault-injection tests SIGKILL a worker inside.
+  std::uint64_t PostClaimDelayMs = 0;
+  /// Fixed owner token (0 = mint a fresh one); tests pin it to assert
+  /// lease ownership.
+  std::uint64_t Token = 0;
+};
+
+/// What one worker loop did, for logs and test assertions.
+struct WorkerStats {
+  std::uint64_t Claimed = 0;        ///< Items received from ClaimWork.
+  std::uint64_t Executed = 0;       ///< Items actually simulated.
+  std::uint64_t Completed = 0;      ///< CompleteWork acknowledgements.
+  std::uint64_t AlreadyPresent = 0; ///< Part existed; completed without work.
+  std::uint64_t Abandoned = 0;      ///< Returned to the queue (job fetch
+                                    ///< failed or shutdown mid-batch).
+  std::uint64_t BadSpecs = 0;       ///< Undecodable/out-of-range specs
+                                    ///< retired without execution.
+};
+
+/// Runs the claim/execute/publish/complete loop against
+/// \p Config.Remote until stopped, idle-expired, or item-budget
+/// exhausted.  Never throws; network failures look like an empty queue
+/// and are retried on the jittered idle schedule.
+WorkerStats runWorkerLoop(const WorkerConfig &Config);
+
+} // namespace fgbs
+
+#endif // FGBS_CORE_FARMWORKER_H

@@ -60,7 +60,7 @@ public:
   Result acquire(const FileLock::Options &O) override {
     const std::uint64_t Start = steadyMs();
     const std::uint64_t Deadline = Start + O.TimeoutMs;
-    std::uint64_t Backoff = O.InitialBackoffMs ? O.InitialBackoffMs : 1;
+    unsigned Attempt = 0;
     Result Out;
     while (true) {
       bool Granted = false;
@@ -90,10 +90,14 @@ public:
                       "' from " + Backend.address();
         return Out;
       }
+      // Jittered (keyed on the lease token) so contending writers do
+      // not re-poll the server in phase.
       std::this_thread::sleep_for(std::chrono::milliseconds(
-          std::min(Backoff, Deadline - Now)));
-      Backoff = std::min(Backoff * 2,
-                         O.MaxBackoffMs ? O.MaxBackoffMs : Backoff);
+          std::min(retryBackoffMs(Attempt++, O.InitialBackoffMs,
+                                  O.MaxBackoffMs ? O.MaxBackoffMs
+                                                 : O.InitialBackoffMs,
+                                  Token),
+                   Deadline - Now)));
     }
   }
 
@@ -120,13 +124,35 @@ private:
 
 } // namespace
 
+std::uint64_t fgbs::retryBackoffMs(unsigned Attempt, std::uint64_t InitialMs,
+                                   std::uint64_t MaxMs, std::uint64_t Seed) {
+  if (InitialMs == 0)
+    InitialMs = 1;
+  if (MaxMs < InitialMs)
+    MaxMs = InitialMs;
+  // Saturating base = min(InitialMs << Attempt, MaxMs).
+  std::uint64_t Base = MaxMs;
+  if (Attempt < 63 && (MaxMs >> Attempt) >= InitialMs)
+    Base = InitialMs << Attempt;
+  // splitmix64 over (Seed, Attempt): deterministic per client, distinct
+  // across clients, no shared-state RNG to lock.
+  std::uint64_t Z = Seed + 0x9e3779b97f4a7c15ull * (Attempt + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  Z ^= Z >> 31;
+  const std::uint64_t Low = Base - Base / 2; // ceil(Base / 2), never 0.
+  return Low + Z % (Base - Low + 1);
+}
+
+std::uint64_t fgbs::makeOwnerToken() { return makeLeaseToken(); }
+
 bool fgbs::parseRemoteCacheAddress(const std::string &Spec,
                                    RemoteCacheConfig &Out) {
   return parseHostPort(Spec, Out.Host, Out.Port);
 }
 
 RemoteCacheBackend::RemoteCacheBackend(RemoteCacheConfig Config)
-    : Config(std::move(Config)) {
+    : Config(std::move(Config)), BackoffSeed(makeLeaseToken()) {
   if (this->Config.MaxAttempts == 0)
     this->Config.MaxAttempts = 1;
 }
@@ -136,13 +162,14 @@ bool RemoteCacheBackend::request(Opcode Op, std::string_view Payload,
   std::lock_guard<std::mutex> Guard(Mutex);
   bool SawTimeout = false;
   std::string LastError;
-  std::uint64_t Backoff = Config.InitialBackoffMs ? Config.InitialBackoffMs : 1;
   for (unsigned Attempt = 0; Attempt < Config.MaxAttempts; ++Attempt) {
     if (Attempt > 0) {
       Conn.close();
-      std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
-      Backoff = std::min(Backoff * 2,
-                         Config.MaxBackoffMs ? Config.MaxBackoffMs : Backoff);
+      // Jittered so a fleet that lost the same server does not retry in
+      // lockstep and re-stampede it the instant it returns.
+      std::this_thread::sleep_for(std::chrono::milliseconds(retryBackoffMs(
+          Attempt - 1, Config.InitialBackoffMs, Config.MaxBackoffMs,
+          BackoffSeed)));
     }
     if (!Conn.valid()) {
       std::string ConnectError;
@@ -309,4 +336,134 @@ bool RemoteCacheBackend::lockRelease(const std::string &Name,
   Frame Response;
   return request(Opcode::LockRelease, Payload, Response) &&
          Response.Op == Opcode::Ok;
+}
+
+bool RemoteCacheBackend::enqueueWork(const std::string &Name,
+                                     std::string_view Spec,
+                                     EnqueueStatus *StatusOut) {
+  std::string Payload;
+  putStr(Payload, Name);
+  putStr(Payload, std::string(Spec));
+  Frame Response;
+  if (!request(Opcode::EnqueueWork, Payload, Response) ||
+      Response.Op != Opcode::Ok)
+    return false;
+  ByteReader In(Response.Payload);
+  std::uint8_t Raw = In.u8();
+  if (In.overrun() || Raw > 2)
+    return false;
+  if (StatusOut)
+    *StatusOut = static_cast<EnqueueStatus>(Raw);
+  return true;
+}
+
+bool RemoteCacheBackend::claimWork(std::uint64_t Token, std::uint64_t TtlMs,
+                                   std::uint32_t MaxItems,
+                                   std::vector<net::ClaimedWork> &Out) {
+  Out.clear();
+  std::string Payload;
+  putU64(Payload, Token);
+  putU64(Payload, TtlMs);
+  putU32(Payload, MaxItems);
+  Frame Response;
+  if (!request(Opcode::ClaimWork, Payload, Response) ||
+      Response.Op != Opcode::Ok)
+    return false;
+  ByteReader In(Response.Payload);
+  std::uint32_t Count = In.u32();
+  Out.reserve(std::min<std::uint32_t>(Count, 256));
+  for (std::uint32_t I = 0; I < Count && !In.overrun(); ++I) {
+    net::ClaimedWork W;
+    W.Name = In.str();
+    W.Spec = In.str();
+    Out.push_back(std::move(W));
+  }
+  if (In.overrun() || Out.size() != Count) {
+    Out.clear();
+    return false;
+  }
+  return true;
+}
+
+bool RemoteCacheBackend::heartbeatWork(std::uint64_t Token,
+                                       std::uint64_t TtlMs,
+                                       const std::vector<std::string> &Names,
+                                       std::uint32_t *RenewedOut) {
+  std::string Payload;
+  putU64(Payload, Token);
+  putU64(Payload, TtlMs);
+  putU32(Payload, static_cast<std::uint32_t>(Names.size()));
+  for (const std::string &Name : Names)
+    putStr(Payload, Name);
+  Frame Response;
+  if (!request(Opcode::Heartbeat, Payload, Response) ||
+      Response.Op != Opcode::Ok)
+    return false;
+  ByteReader In(Response.Payload);
+  std::uint32_t Renewed = In.u32();
+  if (In.overrun())
+    return false;
+  if (RenewedOut)
+    *RenewedOut = Renewed;
+  return true;
+}
+
+bool RemoteCacheBackend::completeWork(const std::string &Name,
+                                      std::uint64_t Token) {
+  std::string Payload;
+  putStr(Payload, Name);
+  putU64(Payload, Token);
+  Frame Response;
+  if (!request(Opcode::CompleteWork, Payload, Response) ||
+      Response.Op != Opcode::Ok)
+    return false;
+  ByteReader In(Response.Payload);
+  bool Removed = In.u8() != 0;
+  return !In.overrun() && Removed;
+}
+
+bool RemoteCacheBackend::abandonWork(const std::string &Name,
+                                     std::uint64_t Token) {
+  std::string Payload;
+  putStr(Payload, Name);
+  putU64(Payload, Token);
+  Frame Response;
+  if (!request(Opcode::AbandonWork, Payload, Response) ||
+      Response.Op != Opcode::Ok)
+    return false;
+  ByteReader In(Response.Payload);
+  bool Requeued = In.u8() != 0;
+  return !In.overrun() && Requeued;
+}
+
+bool RemoteCacheBackend::statsRemote(RemoteCacheStats &Out) {
+  Frame Response;
+  if (!request(Opcode::Stats, {}, Response) || Response.Op != Opcode::Ok)
+    return false;
+  ByteReader In(Response.Payload);
+  std::uint32_t Shards = In.u32();
+  RemoteCacheStats S;
+  S.Shards.reserve(std::min<std::uint32_t>(Shards, 4096));
+  for (std::uint32_t I = 0; I < Shards && !In.overrun(); ++I) {
+    RemoteShardStats Sh;
+    Sh.Entries = In.u64();
+    Sh.Bytes = In.u64();
+    S.Shards.push_back(Sh);
+  }
+  S.Hits = In.u64();
+  S.Misses = In.u64();
+  S.LeasesGranted = In.u64();
+  S.LeasesDenied = In.u64();
+  S.QueuePending = In.u64();
+  S.QueueClaimed = In.u64();
+  S.FarmEnqueued = In.u64();
+  S.FarmClaimed = In.u64();
+  S.FarmCompleted = In.u64();
+  S.FarmRequeued = In.u64();
+  S.FarmHeartbeats = In.u64();
+  S.FarmDropped = In.u64();
+  if (In.overrun() || S.Shards.size() != Shards || !In.atEnd())
+    return false;
+  Out = std::move(S);
+  return true;
 }

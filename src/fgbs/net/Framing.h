@@ -34,6 +34,30 @@
 ///   LockAcquire str name, u64 owner token, u64 ttl-ms
 ///   LockRelease str name, u64 owner token
 ///
+/// Work-distribution requests (the simulation-farm queue; claims are
+/// token+TTL leases with the same crash-release semantics as writer
+/// leases — an expired claim requeues on the next ClaimWork):
+///   EnqueueWork  str name, str spec
+///                -> Ok u8 status (0 queued, 1 already queued/claimed,
+///                   2 result entry already published)
+///   ClaimWork    u64 worker token, u64 ttl-ms, u32 max-items
+///                -> Ok u32 count, count x { str name, str spec }
+///   Heartbeat    u64 worker token, u64 ttl-ms, u32 count,
+///                count x str name
+///                -> Ok u32 renewed
+///   CompleteWork str name, u64 worker token
+///                -> Ok u8 (1 removed from queue, 0 not owner/absent)
+///   AbandonWork  str name, u64 worker token
+///                -> Ok u8 (1 requeued, 0 not owner/absent/dropped)
+///   Stats        (empty)
+///                -> Ok u32 shards, shards x { u64 entries, u64 bytes },
+///                   u64 hits, u64 misses, u64 leases-granted,
+///                   u64 leases-denied, u64 queue-pending,
+///                   u64 queue-claimed, u64 farm-enqueued,
+///                   u64 farm-claimed, u64 farm-completed,
+///                   u64 farm-requeued, u64 farm-heartbeats,
+///                   u64 farm-dropped
+///
 /// Response opcodes: Ok (payload per request), NotFound (Get of an
 /// absent name), Error (str human-readable message).  The connection
 /// survives Error responses; it is closed on frame-level damage (bad
@@ -76,6 +100,12 @@ enum class Opcode : std::uint32_t {
   Prune = 6,
   LockAcquire = 7,
   LockRelease = 8,
+  EnqueueWork = 9,
+  ClaimWork = 10,
+  Heartbeat = 11,
+  CompleteWork = 12,
+  AbandonWork = 13,
+  Stats = 14,
   Ok = 100,
   NotFound = 101,
   Error = 102,

@@ -1,0 +1,136 @@
+//===- fgbs/net/WorkQueue.cpp - coordinator work-distribution queue -------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/net/WorkQueue.h"
+
+#include <algorithm>
+
+using namespace fgbs;
+using namespace fgbs::net;
+
+EnqueueStatus WorkQueue::enqueue(const std::string &Name,
+                                 const std::string &Spec) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Items.find(Name);
+  if (It != Items.end())
+    return EnqueueStatus::Duplicate;
+  Items.emplace(Name, Item{Spec, 0, 0, 0});
+  Pending.push_back(Name);
+  ++Counters.Enqueued;
+  return EnqueueStatus::Queued;
+}
+
+void WorkQueue::requeueExpiredLocked(std::uint64_t NowMs) {
+  for (auto It = Items.begin(); It != Items.end();) {
+    Item &I = It->second;
+    if (I.Token == 0 || I.ExpiresAtMs > NowMs) {
+      ++It;
+      continue;
+    }
+    if (I.Attempts >= MaxAttempts) {
+      ++Counters.Dropped;
+      It = Items.erase(It);
+      continue;
+    }
+    I.Token = 0;
+    I.ExpiresAtMs = 0;
+    Pending.push_back(It->first);
+    ++Counters.Requeued;
+    ++It;
+  }
+}
+
+std::vector<ClaimedWork> WorkQueue::claim(std::uint64_t Token,
+                                          std::uint64_t TtlMs,
+                                          std::uint32_t MaxItems,
+                                          std::uint64_t NowMs) {
+  std::vector<ClaimedWork> Out;
+  if (Token == 0 || MaxItems == 0)
+    return Out;
+  TtlMs = std::min(TtlMs, kMaxClaimTtlMs);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  requeueExpiredLocked(NowMs);
+  while (Out.size() < MaxItems && !Pending.empty()) {
+    std::string Name = std::move(Pending.front());
+    Pending.pop_front();
+    auto It = Items.find(Name);
+    // A completed or dropped item can leave a stale queue entry behind;
+    // skip anything no longer pending.
+    if (It == Items.end() || It->second.Token != 0)
+      continue;
+    It->second.Token = Token;
+    It->second.ExpiresAtMs = NowMs + TtlMs;
+    ++It->second.Attempts;
+    ++Counters.ClaimsOut;
+    Out.push_back(ClaimedWork{Name, It->second.Spec});
+  }
+  return Out;
+}
+
+std::uint32_t WorkQueue::heartbeat(std::uint64_t Token,
+                                   const std::vector<std::string> &Names,
+                                   std::uint64_t TtlMs, std::uint64_t NowMs) {
+  if (Token == 0)
+    return 0;
+  TtlMs = std::min(TtlMs, kMaxClaimTtlMs);
+  std::uint32_t Renewed = 0;
+  std::lock_guard<std::mutex> Guard(Mutex);
+  for (const std::string &Name : Names) {
+    auto It = Items.find(Name);
+    if (It == Items.end() || It->second.Token != Token)
+      continue;
+    It->second.ExpiresAtMs = NowMs + TtlMs;
+    ++Renewed;
+    ++Counters.Heartbeats;
+  }
+  return Renewed;
+}
+
+bool WorkQueue::complete(const std::string &Name, std::uint64_t Token) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Items.find(Name);
+  if (It == Items.end() || It->second.Token != Token || Token == 0)
+    return false;
+  Items.erase(It);
+  ++Counters.Completed;
+  return true;
+}
+
+bool WorkQueue::abandon(const std::string &Name, std::uint64_t Token,
+                        std::uint64_t NowMs) {
+  (void)NowMs;
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Items.find(Name);
+  if (It == Items.end() || It->second.Token != Token || Token == 0)
+    return false;
+  if (It->second.Attempts >= MaxAttempts) {
+    ++Counters.Dropped;
+    Items.erase(It);
+    return false;
+  }
+  It->second.Token = 0;
+  It->second.ExpiresAtMs = 0;
+  Pending.push_back(Name);
+  ++Counters.Requeued;
+  return true;
+}
+
+WorkQueueStats WorkQueue::stats(std::uint64_t NowMs) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  requeueExpiredLocked(NowMs);
+  WorkQueueStats Out = Counters;
+  Out.Pending = 0;
+  Out.Claimed = 0;
+  for (const auto &[Name, I] : Items) {
+    (void)Name;
+    if (I.Token == 0)
+      ++Out.Pending;
+    else
+      ++Out.Claimed;
+  }
+  return Out;
+}

@@ -1,0 +1,129 @@
+//===- fgbs/net/WorkQueue.h - coordinator work-distribution queue -*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory work queue behind the EnqueueWork/ClaimWork/Heartbeat/
+/// CompleteWork/AbandonWork opcodes.  Each item is keyed by the cache
+/// entry name its result will be published under, carries an opaque
+/// spec blob the worker needs to reproduce the work, and is claimed
+/// under the same token+TTL lease discipline as writer leases: a claim
+/// that is not completed or heartbeat-renewed before its TTL expires is
+/// silently requeued on the next ClaimWork, so a SIGKILLed worker's
+/// items flow back to the survivors without any explicit failure
+/// detection.
+///
+/// The queue is intentionally not persisted: a restarted coordinator
+/// comes up empty and is re-taught by the enqueuers, which re-enqueue
+/// still-missing items on every poll round (enqueue is idempotent and
+/// the result-entry existence check lives in the server, so an item
+/// whose result was already published is never queued again).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_NET_WORKQUEUE_H
+#define FGBS_NET_WORKQUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fgbs {
+namespace net {
+
+/// Outcome of an enqueue, reported back over the wire so enqueuers can
+/// tell "new work" from "someone is already on it".
+enum class EnqueueStatus : std::uint8_t {
+  Queued = 0,           ///< Newly added to the pending queue.
+  Duplicate = 1,        ///< Already pending or claimed; left untouched.
+  AlreadyPublished = 2, ///< Result entry already exists (set by the
+                        ///  server, which owns the storage check).
+};
+
+/// One claimed work item handed to a worker.
+struct ClaimedWork {
+  std::string Name; ///< Result cache-entry name (queue key).
+  std::string Spec; ///< Opaque spec blob from the enqueuer.
+};
+
+/// Monotonic queue counters, served verbatim by the Stats opcode.
+struct WorkQueueStats {
+  std::uint64_t Pending = 0;    ///< Items awaiting a claim (point-in-time).
+  std::uint64_t Claimed = 0;    ///< Items currently claimed (point-in-time).
+  std::uint64_t Enqueued = 0;   ///< Total accepted enqueues.
+  std::uint64_t ClaimsOut = 0;  ///< Total items handed to workers.
+  std::uint64_t Completed = 0;  ///< Total items completed.
+  std::uint64_t Requeued = 0;   ///< Total expired/abandoned claims requeued.
+  std::uint64_t Heartbeats = 0; ///< Total claim renewals.
+  std::uint64_t Dropped = 0;    ///< Items dropped after MaxAttempts claims.
+};
+
+/// Thread-safe FIFO work queue with TTL-leased claims.
+class WorkQueue {
+public:
+  /// A claim's TTL is clamped to this ceiling, mirroring writer leases.
+  static constexpr std::uint64_t kMaxClaimTtlMs = 2ull * 60 * 60 * 1000;
+
+  /// An item requeued this many times is dropped instead (a poison item
+  /// that kills every claimant must not wedge the queue forever); the
+  /// enqueuer's next poll round may re-enqueue it fresh.
+  explicit WorkQueue(unsigned MaxAttempts = 5) : MaxAttempts(MaxAttempts) {}
+
+  /// Adds \p Name to the pending queue unless it is already tracked.
+  EnqueueStatus enqueue(const std::string &Name, const std::string &Spec);
+
+  /// Hands up to \p MaxItems pending items to the worker identified by
+  /// \p Token, each leased until \p NowMs + \p TtlMs.  Expired claims
+  /// are requeued (or dropped at the attempts cap) first, so crashed
+  /// workers' items become claimable here without a reaper thread.
+  std::vector<ClaimedWork> claim(std::uint64_t Token, std::uint64_t TtlMs,
+                                 std::uint32_t MaxItems, std::uint64_t NowMs);
+
+  /// Renews the lease on every named item still claimed by \p Token.
+  /// Returns how many leases were actually renewed.
+  std::uint32_t heartbeat(std::uint64_t Token,
+                          const std::vector<std::string> &Names,
+                          std::uint64_t TtlMs, std::uint64_t NowMs);
+
+  /// Removes \p Name from the queue if \p Token holds its claim.
+  bool complete(const std::string &Name, std::uint64_t Token);
+
+  /// Returns \p Name to the pending queue if \p Token holds its claim
+  /// (a worker declining an item it cannot execute).  Counts as a
+  /// requeue attempt; returns false if the item was dropped instead.
+  bool abandon(const std::string &Name, std::uint64_t Token,
+               std::uint64_t NowMs);
+
+  /// Point-in-time counters (requeues expired claims first so Pending /
+  /// Claimed reflect reality even when no worker is polling).
+  WorkQueueStats stats(std::uint64_t NowMs);
+
+private:
+  struct Item {
+    std::string Spec;
+    std::uint64_t Token = 0; ///< 0 = pending, else the claim holder.
+    std::uint64_t ExpiresAtMs = 0;
+    unsigned Attempts = 0; ///< Times this item has been claimed.
+  };
+
+  /// Moves expired claims back to Pending (or drops them at the cap).
+  /// Caller holds Mutex.
+  void requeueExpiredLocked(std::uint64_t NowMs);
+
+  const unsigned MaxAttempts;
+  std::mutex Mutex;
+  std::map<std::string, Item> Items;
+  std::deque<std::string> Pending;
+  WorkQueueStats Counters;
+};
+
+} // namespace net
+} // namespace fgbs
+
+#endif // FGBS_NET_WORKQUEUE_H

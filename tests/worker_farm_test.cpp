@@ -1,0 +1,719 @@
+//===- tests/worker_farm_test.cpp - distributed simulation farm -----------===//
+//
+// The work-distribution layer end to end: WorkQueue lease semantics,
+// the jittered retry schedule, the fgbs.job.v1 / fgbs.part.v1 farm
+// formats, the farm opcodes over a live server, and the headline
+// fault-injection scenarios — a SIGKILLed worker whose claims requeue
+// and complete exactly once on a survivor, and a coordinator restart
+// that loses its in-memory queue and is re-taught by the enqueuer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/arch/Machine.h"
+#include "fgbs/core/FarmSpec.h"
+#include "fgbs/core/FarmWorker.h"
+#include "fgbs/core/MeasurementCache.h"
+#include "fgbs/core/RemoteCacheBackend.h"
+#include "fgbs/net/CacheServer.h"
+#include "fgbs/net/WorkQueue.h"
+#include "fgbs/obs/Metrics.h"
+#include "fgbs/suites/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace fgbs;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TempDir {
+  fs::path Path;
+  explicit TempDir(const std::string &Tag) {
+    static std::atomic<unsigned> Serial{0};
+    Path = fs::temp_directory_path() /
+           ("fgbs_worker_farm_" + Tag + "_" +
+            std::to_string(static_cast<long>(::getpid())) + "_" +
+            std::to_string(Serial.fetch_add(1)));
+    fs::remove_all(Path);
+    fs::create_directories(Path);
+  }
+  ~TempDir() { fs::remove_all(Path); }
+};
+
+net::CacheServerConfig loopbackConfig(const TempDir &Dir, unsigned Shards) {
+  net::CacheServerConfig Config;
+  Config.Root = (Dir.Path / "server").string();
+  Config.Shards = Shards;
+  Config.Threads = 2;
+  Config.BindAddr = "127.0.0.1";
+  return Config;
+}
+
+RemoteCacheConfig clientConfig(const net::CacheServer &Server) {
+  RemoteCacheConfig Config;
+  Config.Host = "127.0.0.1";
+  Config.Port = Server.port();
+  return Config;
+}
+
+SyntheticConfig tinyConfig() {
+  SyntheticConfig Cfg;
+  Cfg.NumApplications = 1;
+  Cfg.CodeletsPerApp = 3;
+  Cfg.MinFootprintBytes = 64 << 10;
+  Cfg.MaxFootprintBytes = 1 << 20;
+  return Cfg;
+}
+
+/// Publishes the job blob and enqueues every item of the sweep — the
+/// manual equivalent of the trainer's distribute loop, for tests that
+/// drive workers directly.
+std::size_t enqueueWholeSweep(RemoteCacheBackend &Backend, const Suite &S,
+                              const Machine &Reference,
+                              const std::vector<Machine> &Targets,
+                              std::uint64_t Key) {
+  const std::string JobName = farmJobEntryName(Key);
+  if (!Backend.exists(JobName)) {
+    EXPECT_TRUE(Backend.put(
+        JobName, serializeFarmJob(S, Reference, Targets, {}, Key)));
+  }
+  const std::size_t Total =
+      measurementItemCount(S.numCodelets(), Targets.size());
+  for (std::size_t Item = 0; Item < Total; ++Item) {
+    FarmWorkSpec Spec;
+    Spec.JobEntry = JobName;
+    Spec.Key = Key;
+    Spec.Item = Item;
+    Backend.enqueueWork(farmPartEntryName(Key, Item),
+                        encodeFarmWorkSpec(Spec));
+  }
+  return Total;
+}
+
+std::size_t countParts(RemoteCacheBackend &Backend, std::uint64_t Key) {
+  std::size_t Count = 0;
+  for (const CacheEntry &E : Backend.scan(farmPartEntryPrefix(Key), ".v1")) {
+    std::size_t Item = 0;
+    if (parseFarmPartEntryName(E.Name, Key, Item))
+      ++Count;
+  }
+  return Count;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Jittered retry backoff
+//===----------------------------------------------------------------------===//
+
+TEST(RetryBackoff, StaysInsideTheEqualJitterWindow) {
+  const std::uint64_t Initial = 50, Max = 1000;
+  for (std::uint64_t Seed : {1ull, 0xDEADBEEFull, 0x5EED5EED5EED5EEDull}) {
+    for (unsigned Attempt = 0; Attempt < 16; ++Attempt) {
+      std::uint64_t Base = Max;
+      if (Attempt < 63 && (Max >> Attempt) >= Initial)
+        Base = Initial << Attempt;
+      const std::uint64_t V = retryBackoffMs(Attempt, Initial, Max, Seed);
+      EXPECT_GE(V, Base - Base / 2) << "attempt " << Attempt;
+      EXPECT_LE(V, Base) << "attempt " << Attempt;
+    }
+  }
+}
+
+TEST(RetryBackoff, DeterministicPerSeedDecorrelatedAcrossSeeds) {
+  for (unsigned Attempt = 0; Attempt < 8; ++Attempt)
+    EXPECT_EQ(retryBackoffMs(Attempt, 50, 1000, 42),
+              retryBackoffMs(Attempt, 50, 1000, 42));
+  // Two workers with different seeds must not share a schedule (the
+  // whole point of the jitter): some attempt must differ.
+  bool Differs = false;
+  for (unsigned Attempt = 0; Attempt < 8 && !Differs; ++Attempt)
+    Differs = retryBackoffMs(Attempt, 50, 1000, 1) !=
+              retryBackoffMs(Attempt, 50, 1000, 2);
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RetryBackoff, NeverZeroAndSaturatesSanely) {
+  EXPECT_GE(retryBackoffMs(0, 0, 0, 7), 1u);
+  EXPECT_GE(retryBackoffMs(200, 50, 1000, 7), 500u); // huge attempt: capped
+  EXPECT_LE(retryBackoffMs(200, 50, 1000, 7), 1000u);
+  // Max below Initial: the cap lifts to Initial instead of underflowing.
+  EXPECT_LE(retryBackoffMs(3, 100, 10, 7), 100u);
+  EXPECT_GE(retryBackoffMs(3, 100, 10, 7), 50u);
+}
+
+//===----------------------------------------------------------------------===//
+// WorkQueue lease machinery
+//===----------------------------------------------------------------------===//
+
+TEST(WorkQueueTest, FifoClaimsAreExclusive) {
+  net::WorkQueue Q;
+  EXPECT_EQ(Q.enqueue("a", "sa"), net::EnqueueStatus::Queued);
+  EXPECT_EQ(Q.enqueue("b", "sb"), net::EnqueueStatus::Queued);
+  EXPECT_EQ(Q.enqueue("c", "sc"), net::EnqueueStatus::Queued);
+  EXPECT_EQ(Q.enqueue("a", "other"), net::EnqueueStatus::Duplicate);
+
+  auto First = Q.claim(1, 1000, 2, 100);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_EQ(First[0].Name, "a");
+  EXPECT_EQ(First[0].Spec, "sa");
+  EXPECT_EQ(First[1].Name, "b");
+  auto Second = Q.claim(2, 1000, 8, 100);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_EQ(Second[0].Name, "c");
+  EXPECT_TRUE(Q.claim(3, 1000, 8, 100).empty());
+}
+
+TEST(WorkQueueTest, ExpiredClaimRequeuesForTheNextWorker) {
+  net::WorkQueue Q;
+  Q.enqueue("a", "s");
+  ASSERT_EQ(Q.claim(1, 500, 1, 1000).size(), 1u);
+  // Still leased: nothing for anyone else.
+  EXPECT_TRUE(Q.claim(2, 500, 1, 1400).empty());
+  // Past the TTL: the dead worker's item flows to the survivor.
+  auto Recovered = Q.claim(2, 500, 1, 1501);
+  ASSERT_EQ(Recovered.size(), 1u);
+  EXPECT_EQ(Recovered[0].Name, "a");
+  EXPECT_EQ(Q.stats(1502).Requeued, 1u);
+}
+
+TEST(WorkQueueTest, HeartbeatExtendsTheLease) {
+  net::WorkQueue Q;
+  Q.enqueue("a", "s");
+  ASSERT_EQ(Q.claim(1, 500, 1, 1000).size(), 1u);
+  EXPECT_EQ(Q.heartbeat(1, {"a"}, 500, 1400), 1u); // now expires at 1900
+  EXPECT_EQ(Q.heartbeat(2, {"a"}, 500, 1400), 0u); // wrong owner: no-op
+  EXPECT_TRUE(Q.claim(2, 500, 1, 1800).empty());
+  EXPECT_EQ(Q.claim(2, 500, 1, 1901).size(), 1u);
+}
+
+TEST(WorkQueueTest, CompleteAndAbandonEnforceOwnership) {
+  net::WorkQueue Q;
+  Q.enqueue("a", "s");
+  ASSERT_EQ(Q.claim(1, 1000, 1, 0).size(), 1u);
+  EXPECT_FALSE(Q.complete("a", 2)); // not the owner
+  EXPECT_FALSE(Q.abandon("a", 2, 0));
+  EXPECT_TRUE(Q.abandon("a", 1, 0)); // owner hands it back
+  ASSERT_EQ(Q.claim(2, 1000, 1, 0).size(), 1u);
+  EXPECT_TRUE(Q.complete("a", 2));
+  EXPECT_FALSE(Q.complete("a", 2)); // already gone
+  auto Stats = Q.stats(0);
+  EXPECT_EQ(Stats.Completed, 1u);
+  EXPECT_EQ(Stats.Requeued, 1u);
+  EXPECT_EQ(Stats.Pending, 0u);
+  EXPECT_EQ(Stats.Claimed, 0u);
+}
+
+TEST(WorkQueueTest, PoisonItemsDropAtTheAttemptsCap) {
+  net::WorkQueue Q(/*MaxAttempts=*/2);
+  Q.enqueue("a", "s");
+  ASSERT_EQ(Q.claim(1, 100, 1, 0).size(), 1u);     // attempt 1
+  ASSERT_EQ(Q.claim(2, 100, 1, 1000).size(), 1u);  // expired -> attempt 2
+  EXPECT_TRUE(Q.claim(3, 100, 1, 2000).empty());   // expired again -> dropped
+  EXPECT_EQ(Q.stats(2001).Dropped, 1u);
+  // Dropped means forgotten: the enqueuer may hand it back fresh.
+  EXPECT_EQ(Q.enqueue("a", "s"), net::EnqueueStatus::Queued);
+}
+
+//===----------------------------------------------------------------------===//
+// fgbs.job.v1 / fgbs.part.v1 formats
+//===----------------------------------------------------------------------===//
+
+TEST(FarmSpecTest, EntryNamesRoundTrip) {
+  const std::uint64_t Key = 0x0123456789abcdefull;
+  EXPECT_EQ(farmJobEntryName(Key), "fgbs-job-0123456789abcdef.v1");
+  const std::string Part = farmPartEntryName(Key, 0x2a);
+  EXPECT_EQ(Part, "fgbs-part-0123456789abcdef-0000002a.v1");
+  std::size_t Item = 0;
+  EXPECT_TRUE(parseFarmPartEntryName(Part, Key, Item));
+  EXPECT_EQ(Item, 0x2au);
+  EXPECT_FALSE(parseFarmPartEntryName(Part, Key + 1, Item)); // other sweep
+  EXPECT_FALSE(parseFarmPartEntryName("fgbs-part-0123456789abcdef-zzzzzzzz.v1",
+                                      Key, Item));
+  EXPECT_FALSE(parseFarmPartEntryName(farmJobEntryName(Key), Key, Item));
+}
+
+TEST(FarmSpecTest, WorkSpecRoundTripsAndRejectsDamage) {
+  FarmWorkSpec In;
+  In.JobEntry = "fgbs-job-0123456789abcdef.v1";
+  In.Key = 0x0123456789abcdefull;
+  In.Item = 7;
+  const std::string Bytes = encodeFarmWorkSpec(In);
+  FarmWorkSpec Out;
+  ASSERT_TRUE(decodeFarmWorkSpec(Bytes, Out));
+  EXPECT_EQ(Out.JobEntry, In.JobEntry);
+  EXPECT_EQ(Out.Key, In.Key);
+  EXPECT_EQ(Out.Item, In.Item);
+  EXPECT_FALSE(decodeFarmWorkSpec(Bytes + "x", Out));            // trailing
+  EXPECT_FALSE(decodeFarmWorkSpec(Bytes.substr(0, 10), Out));    // truncated
+  EXPECT_FALSE(decodeFarmWorkSpec("", Out));
+}
+
+TEST(FarmSpecTest, JobBlobRoundTripsBitExactly) {
+  const Suite S = makeSyntheticSuite(tinyConfig());
+  const Machine Ref = makeNehalem();
+  const std::vector<Machine> Targets = paperTargets();
+  const std::uint64_t Key = measurementKey(S, Ref, Targets, {});
+
+  const std::string Bytes = serializeFarmJob(S, Ref, Targets, {}, Key);
+  FarmJob Job;
+  std::string Message;
+  ASSERT_EQ(parseFarmJob(Bytes, Job, &Message), FarmSpecError::None)
+      << Message;
+  EXPECT_EQ(Job.Key, Key);
+  EXPECT_EQ(Job.S.numCodelets(), S.numCodelets());
+  EXPECT_EQ(Job.Targets.size(), Targets.size());
+  EXPECT_EQ(Job.itemCount(),
+            measurementItemCount(S.numCodelets(), Targets.size()));
+  // The reconstructed inputs serialize back to the identical bytes —
+  // nothing is lost or reordered through the round trip.
+  EXPECT_EQ(serializeFarmJob(Job.S, Job.Reference, Job.Targets, Job.Policy,
+                             Job.Key),
+            Bytes);
+}
+
+TEST(FarmSpecTest, JobBlobDamageIsTyped) {
+  const Suite S = makeSyntheticSuite(tinyConfig());
+  const Machine Ref = makeNehalem();
+  const std::vector<Machine> Targets = {makeAtom()};
+  const std::uint64_t Key = measurementKey(S, Ref, Targets, {});
+  const std::string Clean = serializeFarmJob(S, Ref, Targets, {}, Key);
+
+  FarmJob Job;
+  std::string Flip = Clean;
+  Flip[kFarmHeaderBytes + 3] ^= 0x40;
+  EXPECT_EQ(parseFarmJob(Flip, Job), FarmSpecError::ChecksumMismatch);
+
+  std::string Magic = Clean;
+  Magic[0] = 'X';
+  EXPECT_EQ(parseFarmJob(Magic, Job), FarmSpecError::BadMagic);
+
+  EXPECT_EQ(parseFarmJob(std::string_view(Clean).substr(0, 20), Job),
+            FarmSpecError::Truncated);
+  EXPECT_EQ(parseFarmJob(std::string_view(Clean).substr(0, Clean.size() - 1),
+                         Job),
+            FarmSpecError::Truncated);
+
+  // A blob whose inputs do not hash to its stored key is rejected even
+  // with perfect framing — the farm's core integrity property.
+  const std::string WrongKey = serializeFarmJob(S, Ref, Targets, {}, Key + 1);
+  EXPECT_EQ(parseFarmJob(WrongKey, Job), FarmSpecError::KeyMismatch);
+}
+
+TEST(FarmSpecTest, PartBlobRoundTripsEveryKind) {
+  const Suite S = makeSyntheticSuite(tinyConfig());
+  const Machine Ref = makeNehalem();
+  const std::vector<Machine> Targets = {makeAtom()};
+  const std::vector<const Codelet *> Codelets = S.allCodelets();
+  const std::uint64_t Key = measurementKey(S, Ref, Targets, {});
+  const std::size_t Total = measurementItemCount(Codelets.size(), 1);
+
+  for (std::size_t Item = 0; Item < Total; ++Item) {
+    const MeasurementItem M = decodeMeasurementItem(Item, Codelets.size(), 1);
+    const MeasurementItemResult R = executeMeasurementItem(
+        *Codelets[M.Codelet], Ref, Targets, {}, M, nullptr);
+    const std::string Bytes = serializeFarmPart(Key, Item, R);
+
+    MeasurementItemResult Out;
+    std::string Message;
+    ASSERT_EQ(parseFarmPart(Bytes, Key, Item, Out, &Message),
+              FarmSpecError::None)
+        << "item " << Item << ": " << Message;
+    ASSERT_EQ(Out.Kind, M.Kind);
+    // Re-serializing the parsed result must reproduce the bytes — the
+    // idempotence the farm's duplicate-completion safety rests on.
+    EXPECT_EQ(serializeFarmPart(Key, Item, Out), Bytes) << "item " << Item;
+
+    MeasurementItemResult Reject;
+    EXPECT_EQ(parseFarmPart(Bytes, Key, Item + 1, Reject),
+              FarmSpecError::KeyMismatch);
+    EXPECT_EQ(parseFarmPart(Bytes, Key + 1, Item, Reject),
+              FarmSpecError::KeyMismatch);
+    std::string Flip = Bytes;
+    Flip[Flip.size() - 1] ^= 0x01;
+    EXPECT_EQ(parseFarmPart(Flip, Key, Item, Reject),
+              FarmSpecError::ChecksumMismatch);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Farm opcodes over a live server
+//===----------------------------------------------------------------------===//
+
+TEST(FarmOpcodes, EnqueueClaimHeartbeatCompleteRoundTrip) {
+  TempDir Dir("opcodes");
+  net::CacheServer Server(loopbackConfig(Dir, 2));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  RemoteCacheBackend Backend(clientConfig(Server));
+
+  const std::string Name = "fgbs-part-0123456789abcdef-00000001.v1";
+  net::EnqueueStatus Status;
+  ASSERT_TRUE(Backend.enqueueWork(Name, "the spec", &Status));
+  EXPECT_EQ(Status, net::EnqueueStatus::Queued);
+  ASSERT_TRUE(Backend.enqueueWork(Name, "the spec", &Status));
+  EXPECT_EQ(Status, net::EnqueueStatus::Duplicate);
+
+  std::vector<net::ClaimedWork> Batch;
+  ASSERT_TRUE(Backend.claimWork(0xAB, 30000, 4, Batch));
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_EQ(Batch[0].Name, Name);
+  EXPECT_EQ(Batch[0].Spec, "the spec");
+
+  std::uint32_t Renewed = 0;
+  ASSERT_TRUE(Backend.heartbeatWork(0xAB, 30000, {Name}, &Renewed));
+  EXPECT_EQ(Renewed, 1u);
+  EXPECT_FALSE(Backend.completeWork(Name, 0xCD)); // not the owner
+  EXPECT_TRUE(Backend.completeWork(Name, 0xAB));
+
+  RemoteCacheStats Stats;
+  ASSERT_TRUE(Backend.statsRemote(Stats));
+  EXPECT_EQ(Stats.FarmEnqueued, 1u);
+  EXPECT_EQ(Stats.FarmClaimed, 1u);
+  EXPECT_EQ(Stats.FarmCompleted, 1u);
+  EXPECT_EQ(Stats.FarmHeartbeats, 1u);
+  EXPECT_EQ(Stats.QueuePending, 0u);
+  EXPECT_EQ(Stats.QueueClaimed, 0u);
+  Server.stop();
+}
+
+TEST(FarmOpcodes, EnqueueOfPublishedResultShortCircuits) {
+  TempDir Dir("published");
+  net::CacheServer Server(loopbackConfig(Dir, 2));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  RemoteCacheBackend Backend(clientConfig(Server));
+
+  const std::string Name = "fgbs-part-0123456789abcdef-00000002.v1";
+  ASSERT_TRUE(Backend.put(Name, "already computed"));
+  net::EnqueueStatus Status;
+  ASSERT_TRUE(Backend.enqueueWork(Name, "spec", &Status));
+  EXPECT_EQ(Status, net::EnqueueStatus::AlreadyPublished);
+  std::vector<net::ClaimedWork> Batch;
+  ASSERT_TRUE(Backend.claimWork(0xAB, 30000, 4, Batch));
+  EXPECT_TRUE(Batch.empty());
+  Server.stop();
+}
+
+TEST(FarmOpcodes, AbandonRequeuesOverTheWire) {
+  TempDir Dir("abandon");
+  net::CacheServer Server(loopbackConfig(Dir, 2));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  RemoteCacheBackend Backend(clientConfig(Server));
+
+  const std::string Name = "fgbs-part-0123456789abcdef-00000003.v1";
+  ASSERT_TRUE(Backend.enqueueWork(Name, "spec"));
+  std::vector<net::ClaimedWork> Batch;
+  ASSERT_TRUE(Backend.claimWork(0xAB, 30000, 1, Batch));
+  ASSERT_EQ(Batch.size(), 1u);
+  EXPECT_TRUE(Backend.abandonWork(Name, 0xAB));
+  // Immediately claimable by someone else — no TTL wait for a polite
+  // decline.
+  Batch.clear();
+  ASSERT_TRUE(Backend.claimWork(0xCD, 30000, 1, Batch));
+  ASSERT_EQ(Batch.size(), 1u);
+  RemoteCacheStats Stats;
+  ASSERT_TRUE(Backend.statsRemote(Stats));
+  EXPECT_EQ(Stats.FarmRequeued, 1u);
+  Server.stop();
+}
+
+TEST(FarmOpcodes, StatsReportsShardFootprintAndCounters) {
+  TempDir Dir("stats");
+  net::CacheServer Server(loopbackConfig(Dir, 3));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  RemoteCacheBackend Backend(clientConfig(Server));
+
+  ASSERT_TRUE(Backend.put("fgbs-meas-0000000000000001.v1", "0123456789"));
+  ASSERT_TRUE(Backend.put("fgbs-meas-0000000100000000.v1", "01234"));
+  // Hit/miss accounting is Get-only (Exists probes are free).
+  std::string Bytes;
+  EXPECT_TRUE(Backend.get("fgbs-meas-0000000000000001.v1", Bytes));  // hit
+  EXPECT_FALSE(Backend.get("fgbs-meas-00000000000000ff.v1", Bytes)); // miss
+  EXPECT_TRUE(Backend.exists("fgbs-meas-0000000000000001.v1"));
+  EXPECT_FALSE(Backend.exists("fgbs-meas-00000000000000ff.v1"));
+
+  RemoteCacheStats Stats;
+  ASSERT_TRUE(Backend.statsRemote(Stats));
+  ASSERT_EQ(Stats.Shards.size(), 3u);
+  std::uint64_t Entries = 0, Footprint = 0;
+  for (const RemoteShardStats &Shard : Stats.Shards) {
+    Entries += Shard.Entries;
+    Footprint += Shard.Bytes;
+  }
+  EXPECT_EQ(Entries, 2u);
+  EXPECT_EQ(Footprint, 15u);
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: distribute-mode build over embedded workers
+//===----------------------------------------------------------------------===//
+
+TEST(DistributedFarm, BuildConvergesAndMatchesLocalSimulationByteForByte) {
+  const Suite S = makeSyntheticSuite(tinyConfig());
+  const Machine Ref = makeNehalem();
+  const std::vector<Machine> Targets = {makeAtom()};
+  const std::uint64_t Key = measurementKey(S, Ref, Targets, {});
+  const std::size_t Total = measurementItemCount(S.numCodelets(), 1);
+
+  TempDir Dir("e2e");
+  net::CacheServer Server(loopbackConfig(Dir, 4));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  std::atomic<bool> StopWorkers{false};
+  std::vector<std::thread> Workers;
+  for (int I = 0; I < 2; ++I)
+    Workers.emplace_back([&] {
+      WorkerConfig Config;
+      Config.Remote = clientConfig(Server);
+      Config.PollMs = 25;
+      Config.Stop = &StopWorkers;
+      runWorkerLoop(Config);
+    });
+
+  obs::MetricsRegistry::global().reset();
+  obs::setEnabled(true);
+  DatabaseBuildOptions Build;
+  Build.Threads = 2;
+  Build.CacheRemote = "127.0.0.1:" + std::to_string(Server.port());
+  Build.Distribute = true;
+  Build.DistributeWaitMs = 60000;
+  Build.DistributePollMs = 25;
+  auto FarmDb = buildMeasurementDatabase(S, Ref, Targets, Build);
+  ASSERT_NE(FarmDb, nullptr);
+  EXPECT_EQ(obs::counterTotal("farm.parts_assembled"), Total);
+  EXPECT_EQ(obs::counterTotal("farm.worker.executed"), Total);
+  EXPECT_EQ(obs::counterTotal("db.cache.stores"), 1u);
+  const std::uint64_t FarmSimExecute = obs::counterTotal("sim.execute");
+
+  StopWorkers.store(true);
+  for (std::thread &T : Workers)
+    T.join();
+
+  // The reference: the classic in-process sweep.  Exactly-once is the
+  // equality of the two sim.execute totals — the farm run (trainer +
+  // both workers live in this process) simulated precisely what one
+  // local build simulates, nothing twice, nothing extra.
+  obs::MetricsRegistry::global().reset();
+  DatabaseOptions LocalOptions;
+  LocalOptions.Threads = 2;
+  MeasurementDatabase LocalDb(S, Ref, Targets, {}, LocalOptions);
+  EXPECT_EQ(FarmSimExecute, obs::counterTotal("sim.execute"));
+
+  EXPECT_EQ(serializeMeasurements(*FarmDb, Key),
+            serializeMeasurements(LocalDb, Key));
+
+  // And the farm build published the whole-database entry: a second
+  // (non-distribute) run is a pure cache hit.
+  obs::MetricsRegistry::global().reset();
+  DatabaseBuildOptions Warm;
+  Warm.Threads = 2;
+  Warm.CacheRemote = Build.CacheRemote;
+  auto WarmDb = buildMeasurementDatabase(S, Ref, Targets, Warm);
+  ASSERT_NE(WarmDb, nullptr);
+  EXPECT_EQ(obs::counterTotal("sim.execute"), 0u);
+  EXPECT_EQ(obs::counterTotal("db.cache.hits"), 1u);
+  obs::setEnabled(false);
+  Server.stop();
+}
+
+TEST(DistributedFarm, WorkerlessFarmFallsBackToLocalSimulation) {
+  const Suite S = makeSyntheticSuite(tinyConfig());
+  const Machine Ref = makeNehalem();
+  const std::vector<Machine> Targets = {makeAtom()};
+  const std::uint64_t Key = measurementKey(S, Ref, Targets, {});
+
+  TempDir Dir("fallback");
+  net::CacheServer Server(loopbackConfig(Dir, 2));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+
+  DatabaseBuildOptions Build;
+  Build.Threads = 2;
+  Build.CacheRemote = "127.0.0.1:" + std::to_string(Server.port());
+  Build.Distribute = true;
+  Build.DistributeWaitMs = 300; // nobody is coming
+  Build.DistributePollMs = 25;
+  auto Db = buildMeasurementDatabase(S, Ref, Targets, Build);
+  ASSERT_NE(Db, nullptr);
+
+  DatabaseOptions LocalOptions;
+  LocalOptions.Threads = 2;
+  MeasurementDatabase LocalDb(S, Ref, Targets, {}, LocalOptions);
+  EXPECT_EQ(serializeMeasurements(*Db, Key),
+            serializeMeasurements(LocalDb, Key));
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forks a child running one worker loop against \p Port; the child's
+/// exit code is its executed-item count.
+pid_t forkWorker(std::uint16_t Port, std::uint64_t LeaseTtlMs,
+                 std::uint64_t PostClaimDelayMs, std::uint64_t IdleExitMs) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  WorkerConfig Config;
+  Config.Remote.Host = "127.0.0.1";
+  Config.Remote.Port = Port;
+  Config.LeaseTtlMs = LeaseTtlMs;
+  Config.ClaimBatch = 4;
+  Config.PollMs = 25;
+  Config.PostClaimDelayMs = PostClaimDelayMs;
+  Config.IdleExitMs = IdleExitMs;
+  WorkerStats Stats = runWorkerLoop(Config);
+  ::_exit(static_cast<int>(
+      Stats.Executed < 200 ? Stats.Executed : 200));
+}
+
+} // namespace
+
+TEST(WorkerFarmFaultInjection, SigkilledWorkerItemsRequeueAndCompleteOnce) {
+  const Suite S = makeSyntheticSuite(tinyConfig());
+  const Machine Ref = makeNehalem();
+  const std::vector<Machine> Targets = {makeAtom()};
+  const std::uint64_t Key = measurementKey(S, Ref, Targets, {});
+
+  TempDir Dir("sigkill");
+  net::CacheServer Server(loopbackConfig(Dir, 2));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  RemoteCacheBackend Backend(clientConfig(Server));
+  const std::size_t Total = enqueueWholeSweep(Backend, S, Ref, Targets, Key);
+  ASSERT_EQ(Total, 12u);
+
+  // The victim claims a batch, then stalls inside the post-claim test
+  // hook holding live leases — the exact window a real worker dies in.
+  const pid_t Victim = forkWorker(Server.port(), /*LeaseTtlMs=*/1000,
+                                  /*PostClaimDelayMs=*/600000,
+                                  /*IdleExitMs=*/0);
+  ASSERT_GT(Victim, 0);
+  RemoteCacheStats Stats;
+  const auto ClaimDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  do {
+    ASSERT_LT(std::chrono::steady_clock::now(), ClaimDeadline)
+        << "victim never claimed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(Backend.statsRemote(Stats));
+  } while (Stats.QueueClaimed == 0);
+
+  ASSERT_EQ(::kill(Victim, SIGKILL), 0);
+  int VictimStatus = 0;
+  ASSERT_EQ(::waitpid(Victim, &VictimStatus, 0), Victim);
+  ASSERT_TRUE(WIFSIGNALED(VictimStatus));
+  EXPECT_EQ(WTERMSIG(VictimStatus), SIGKILL);
+
+  // The survivor drains the queue, picking up the victim's items once
+  // their 1 s leases lapse; it exits after 3 s of empty queue.
+  const pid_t Survivor = forkWorker(Server.port(), /*LeaseTtlMs=*/1000,
+                                    /*PostClaimDelayMs=*/0,
+                                    /*IdleExitMs=*/3000);
+  ASSERT_GT(Survivor, 0);
+  int SurvivorStatus = 0;
+  ASSERT_EQ(::waitpid(Survivor, &SurvivorStatus, 0), Survivor);
+  ASSERT_TRUE(WIFEXITED(SurvivorStatus));
+  // Exactly once fleet-wide: the victim executed nothing (killed inside
+  // the pre-work window), so the survivor executed every item.
+  EXPECT_EQ(WEXITSTATUS(SurvivorStatus), static_cast<int>(Total));
+
+  EXPECT_EQ(countParts(Backend, Key), Total);
+  ASSERT_TRUE(Backend.statsRemote(Stats));
+  EXPECT_GE(Stats.FarmRequeued, 1u) << "the victim's leases never lapsed";
+  EXPECT_EQ(Stats.FarmCompleted, Total);
+  EXPECT_EQ(Stats.QueuePending, 0u);
+  EXPECT_EQ(Stats.QueueClaimed, 0u);
+  Server.stop();
+}
+
+TEST(WorkerFarmFaultInjection, CoordinatorRestartIsHealedByReEnqueue) {
+  const Suite S = makeSyntheticSuite(tinyConfig());
+  const Machine Ref = makeNehalem();
+  const std::vector<Machine> Targets = {makeAtom()};
+  const std::uint64_t Key = measurementKey(S, Ref, Targets, {});
+
+  TempDir Dir("restart");
+  std::size_t Total = 0;
+  {
+    net::CacheServer First(loopbackConfig(Dir, 2));
+    std::string Error;
+    ASSERT_TRUE(First.start(&Error)) << Error;
+    RemoteCacheBackend Backend(clientConfig(First));
+    Total = enqueueWholeSweep(Backend, S, Ref, Targets, Key);
+    RemoteCacheStats Stats;
+    ASSERT_TRUE(Backend.statsRemote(Stats));
+    EXPECT_EQ(Stats.QueuePending, Total);
+    First.stop(); // takes the in-memory queue with it
+  }
+
+  net::CacheServer Second(loopbackConfig(Dir, 2));
+  std::string Error;
+  ASSERT_TRUE(Second.start(&Error)) << Error;
+  RemoteCacheBackend Backend(clientConfig(Second));
+
+  // The queue is gone; the on-disk entries (job blob) survived.
+  RemoteCacheStats Stats;
+  ASSERT_TRUE(Backend.statsRemote(Stats));
+  EXPECT_EQ(Stats.QueuePending, 0u);
+  EXPECT_TRUE(Backend.exists(farmJobEntryName(Key)));
+
+  // The enqueuer's poll loop re-teaches the restarted coordinator...
+  EXPECT_EQ(enqueueWholeSweep(Backend, S, Ref, Targets, Key), Total);
+  ASSERT_TRUE(Backend.statsRemote(Stats));
+  EXPECT_EQ(Stats.QueuePending, Total);
+
+  // ...and a worker converges the farm as if nothing happened.
+  std::atomic<bool> StopWorker{false};
+  std::thread Worker([&] {
+    WorkerConfig Config;
+    Config.Remote = clientConfig(Second);
+    Config.PollMs = 25;
+    Config.Stop = &StopWorker;
+    runWorkerLoop(Config);
+  });
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (countParts(Backend, Key) < Total) {
+    ASSERT_LT(std::chrono::steady_clock::now(), Deadline)
+        << "farm never converged after the restart";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  StopWorker.store(true);
+  Worker.join();
+
+  // Re-enqueueing a finished item short-circuits: the server sees the
+  // published part and never queues it again.
+  net::EnqueueStatus Status;
+  FarmWorkSpec Spec;
+  Spec.JobEntry = farmJobEntryName(Key);
+  Spec.Key = Key;
+  Spec.Item = 0;
+  ASSERT_TRUE(Backend.enqueueWork(farmPartEntryName(Key, 0),
+                                  encodeFarmWorkSpec(Spec), &Status));
+  EXPECT_EQ(Status, net::EnqueueStatus::AlreadyPublished);
+  Second.stop();
+}

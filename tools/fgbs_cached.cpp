@@ -10,8 +10,9 @@
 //
 //   fgbs_cached --root DIR [--port N] [--shards N] [--threads N]
 //               [--bind ADDR] [--max-bytes N] [--max-age SECONDS]
-//               [--port-file PATH]
+//               [--port-file PATH] [--workers N] [--prune-interval SEC]
 //   fgbs_cached --ping HOST:PORT
+//   fgbs_cached --stats HOST:PORT
 //
 // Runs until SIGINT/SIGTERM, then drains connections and exits cleanly
 // (so the fgbs.run.v1 report is written).  Honours FGBS_TELEMETRY /
@@ -19,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/FarmWorker.h"
 #include "fgbs/core/RemoteCacheBackend.h"
 #include "fgbs/net/CacheServer.h"
 #include "fgbs/obs/RunReport.h"
@@ -31,6 +33,7 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace fgbs;
 
@@ -46,7 +49,9 @@ int usage(std::ostream &OS, int Exit) {
   OS << "usage: fgbs_cached --root DIR [--port N] [--shards N]\n"
         "                   [--threads N] [--bind ADDR] [--max-bytes N]\n"
         "                   [--max-age SEC] [--port-file PATH]\n"
+        "                   [--workers N] [--prune-interval SEC]\n"
         "       fgbs_cached --ping HOST:PORT\n"
+        "       fgbs_cached --stats HOST:PORT\n"
         "\n"
         "Serves a sharded measurement-cache directory to a fleet of\n"
         "fgbs_train runs over the fgbs.cachewire.v1 protocol, so the\n"
@@ -69,8 +74,18 @@ int usage(std::ostream &OS, int Exit) {
         "  --port-file PATH\n"
         "                 write the bound port as a line of text (for\n"
         "                 scripts using --port 0)\n"
+        "  --workers N    also run N embedded simulation-farm worker\n"
+        "                 threads against this server (a one-process farm\n"
+        "                 for small fleets and tests; default 0)\n"
+        "  --prune-interval SEC\n"
+        "                 self-prune every shard to the --max-bytes/\n"
+        "                 --max-age budgets every SEC seconds, in addition\n"
+        "                 to the after-store pruning (default 0: off)\n"
         "  --ping HOST:PORT\n"
         "                 check a running daemon and exit (0 = healthy)\n"
+        "  --stats HOST:PORT\n"
+        "                 print a running daemon's shard footprints and\n"
+        "                 request/queue counters and exit\n"
         "  --help         print this help and exit\n"
         "  --version      print the tool version and exit\n";
   return Exit;
@@ -91,6 +106,9 @@ int main(int argc, char **argv) {
   net::CacheServerConfig Config;
   std::string PortFile;
   std::string PingSpec;
+  std::string StatsSpec;
+  unsigned Workers = 0;
+  std::uint64_t PruneIntervalSeconds = 0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -135,8 +153,21 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--port-file" && I + 1 < argc) {
       PortFile = argv[++I];
+    } else if (Arg == "--workers" && I + 1 < argc) {
+      if (!parseU64(argv[++I], U) || U > 256) {
+        std::cerr << "fgbs_cached: --workers needs 0..256\n";
+        return usage(std::cerr, 2);
+      }
+      Workers = static_cast<unsigned>(U);
+    } else if (Arg == "--prune-interval" && I + 1 < argc) {
+      if (!parseU64(argv[++I], PruneIntervalSeconds)) {
+        std::cerr << "fgbs_cached: --prune-interval needs a second count\n";
+        return usage(std::cerr, 2);
+      }
     } else if (Arg == "--ping" && I + 1 < argc) {
       PingSpec = argv[++I];
+    } else if (Arg == "--stats" && I + 1 < argc) {
+      StatsSpec = argv[++I];
     } else {
       std::cerr << "fgbs_cached: unknown argument '" << Arg << "'\n";
       return usage(std::cerr, 2);
@@ -156,6 +187,41 @@ int main(int argc, char **argv) {
       return 1;
     }
     std::cout << "ok: fgbs.cachewire.v1 server at " << PingSpec << "\n";
+    return 0;
+  }
+
+  if (!StatsSpec.empty()) {
+    RemoteCacheConfig Remote;
+    if (!parseRemoteCacheAddress(StatsSpec, Remote)) {
+      std::cerr << "fgbs_cached: --stats needs HOST:PORT\n";
+      return usage(std::cerr, 2);
+    }
+    Remote.MaxAttempts = 1;
+    RemoteCacheBackend Backend(std::move(Remote));
+    RemoteCacheStats Stats;
+    if (!Backend.statsRemote(Stats)) {
+      std::cerr << "fgbs_cached: no server at " << StatsSpec << "\n";
+      return 1;
+    }
+    std::uint64_t Entries = 0, Bytes = 0;
+    for (std::size_t I = 0; I < Stats.Shards.size(); ++I) {
+      Entries += Stats.Shards[I].Entries;
+      Bytes += Stats.Shards[I].Bytes;
+      std::cout << "shard " << I << ": " << Stats.Shards[I].Entries
+                << " entries, " << Stats.Shards[I].Bytes << " bytes\n";
+    }
+    std::cout << "total: " << Entries << " entries, " << Bytes << " bytes\n"
+              << "requests: " << Stats.Hits << " hits, " << Stats.Misses
+              << " misses\n"
+              << "leases: " << Stats.LeasesGranted << " granted, "
+              << Stats.LeasesDenied << " denied\n"
+              << "queue: " << Stats.QueuePending << " pending, "
+              << Stats.QueueClaimed << " claimed\n"
+              << "farm: " << Stats.FarmEnqueued << " enqueued, "
+              << Stats.FarmClaimed << " claimed, " << Stats.FarmCompleted
+              << " completed, " << Stats.FarmRequeued << " requeued, "
+              << Stats.FarmHeartbeats << " heartbeats, " << Stats.FarmDropped
+              << " dropped\n";
     return 0;
   }
 
@@ -191,10 +257,32 @@ int main(int argc, char **argv) {
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
-  while (!ShutdownRequested.load())
+
+  // Embedded farm workers: a one-process farm.  Each thread is the
+  // same loop fgbs_worker runs, pointed over loopback at this server.
+  std::vector<std::thread> WorkerThreads;
+  for (unsigned I = 0; I < Workers; ++I)
+    WorkerThreads.emplace_back([&Server] {
+      WorkerConfig Worker;
+      Worker.Remote.Host = "127.0.0.1";
+      Worker.Remote.Port = Server.port();
+      Worker.Stop = &ShutdownRequested;
+      runWorkerLoop(Worker);
+    });
+
+  const auto PruneEvery = std::chrono::seconds(PruneIntervalSeconds);
+  auto NextPrune = std::chrono::steady_clock::now() + PruneEvery;
+  while (!ShutdownRequested.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (PruneIntervalSeconds && std::chrono::steady_clock::now() >= NextPrune) {
+      Server.pruneAllShards();
+      NextPrune = std::chrono::steady_clock::now() + PruneEvery;
+    }
+  }
 
   std::cout << "fgbs_cached: shutting down" << std::endl;
+  for (std::thread &T : WorkerThreads)
+    T.join();
   Server.stop();
   return 0;
 }

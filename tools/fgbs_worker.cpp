@@ -1,0 +1,156 @@
+//===- tools/fgbs_worker.cpp - Simulation-farm worker ---------------------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+// The compute half of the distributed simulation farm: claim work items
+// from an fgbs_cached coordinator, simulate them, publish the results as
+// part blobs, and mark them complete.  Crash-safe by construction — a
+// killed worker's claims lapse server-side and requeue.
+//
+//   fgbs_worker --server HOST:PORT [--lease-ttl MS] [--claim-batch N]
+//               [--poll MS] [--idle-exit MS] [--max-items N]
+//
+// Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON like every
+// other FGBS surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/core/FarmWorker.h"
+#include "fgbs/obs/RunReport.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+using namespace fgbs;
+
+namespace {
+
+constexpr const char *kVersion = "fgbs_worker (fgbs.cachewire.v1 worker) 1.0";
+
+std::atomic<bool> ShutdownRequested{false};
+
+void onSignal(int) { ShutdownRequested.store(true); }
+
+int usage(std::ostream &OS, int Exit) {
+  OS << "usage: fgbs_worker --server HOST:PORT [--lease-ttl MS]\n"
+        "                   [--claim-batch N] [--poll MS] [--idle-exit MS]\n"
+        "                   [--max-items N]\n"
+        "\n"
+        "Claims simulation work items from an fgbs_cached coordinator,\n"
+        "executes them, and publishes the results, until stopped\n"
+        "(SIGINT/SIGTERM), idle-expired, or the item budget runs out.\n"
+        "\n"
+        "  --server HOST:PORT\n"
+        "                 the fgbs_cached coordinator (required; default:\n"
+        "                 the FGBS_MEAS_CACHE_REMOTE environment variable)\n"
+        "  --lease-ttl MS how long a claim survives without a heartbeat\n"
+        "                 before the coordinator requeues it (default\n"
+        "                 30000)\n"
+        "  --claim-batch N\n"
+        "                 items per ClaimWork round trip (default 4)\n"
+        "  --poll MS      idle poll base interval, jittered and backed\n"
+        "                 off while the queue stays empty (default 200)\n"
+        "  --idle-exit MS exit once the queue has been empty this long\n"
+        "                 (default 0: run until signalled)\n"
+        "  --max-items N  exit after executing N items (default 0:\n"
+        "                 unlimited)\n"
+        "  --help         print this help and exit\n"
+        "  --version      print the tool version and exit\n";
+  return Exit;
+}
+
+bool parseU64(const char *Text, std::uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  WorkerConfig Config;
+  Config.Stop = &ShutdownRequested;
+  std::string ServerSpec;
+  if (const char *Env = std::getenv("FGBS_MEAS_CACHE_REMOTE"))
+    ServerSpec = Env;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h")
+      return usage(std::cout, 0);
+    if (Arg == "--version") {
+      std::cout << kVersion << "\n";
+      return 0;
+    }
+    std::uint64_t U = 0;
+    if (Arg == "--server" && I + 1 < argc) {
+      ServerSpec = argv[++I];
+    } else if (Arg == "--lease-ttl" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Config.LeaseTtlMs) || Config.LeaseTtlMs == 0) {
+        std::cerr << "fgbs_worker: --lease-ttl needs a millisecond count\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--claim-batch" && I + 1 < argc) {
+      if (!parseU64(argv[++I], U) || U == 0 || U > 256) {
+        std::cerr << "fgbs_worker: --claim-batch needs 1..256\n";
+        return usage(std::cerr, 2);
+      }
+      Config.ClaimBatch = static_cast<std::uint32_t>(U);
+    } else if (Arg == "--poll" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Config.PollMs) || Config.PollMs == 0) {
+        std::cerr << "fgbs_worker: --poll needs a millisecond count\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--idle-exit" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Config.IdleExitMs)) {
+        std::cerr << "fgbs_worker: --idle-exit needs a millisecond count\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--max-items" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Config.MaxItems)) {
+        std::cerr << "fgbs_worker: --max-items needs an item count\n";
+        return usage(std::cerr, 2);
+      }
+    } else {
+      std::cerr << "fgbs_worker: unknown argument '" << Arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  if (ServerSpec.empty()) {
+    std::cerr << "fgbs_worker: --server is required (or set "
+                 "FGBS_MEAS_CACHE_REMOTE)\n";
+    return usage(std::cerr, 2);
+  }
+  if (!parseRemoteCacheAddress(ServerSpec, Config.Remote)) {
+    std::cerr << "fgbs_worker: --server needs HOST:PORT\n";
+    return usage(std::cerr, 2);
+  }
+
+  obs::Session Run("fgbs_worker");
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  WorkerStats Stats = runWorkerLoop(Config);
+
+  Run.recordValue("claimed", static_cast<double>(Stats.Claimed));
+  Run.recordValue("executed", static_cast<double>(Stats.Executed));
+  Run.recordValue("completed", static_cast<double>(Stats.Completed));
+  Run.recordValue("already_present",
+                  static_cast<double>(Stats.AlreadyPresent));
+  Run.recordValue("abandoned", static_cast<double>(Stats.Abandoned));
+  Run.recordValue("bad_specs", static_cast<double>(Stats.BadSpecs));
+
+  std::cout << "fgbs_worker: " << Stats.Executed << " executed, "
+            << Stats.AlreadyPresent << " already present, " << Stats.Abandoned
+            << " abandoned, " << Stats.BadSpecs << " bad specs ("
+            << Stats.Claimed << " claimed from " << ServerSpec << ")\n";
+  return 0;
+}
