@@ -35,6 +35,12 @@ CacheBackend::writerLock(const std::string &Name) {
   return std::make_unique<FileWriterLock>(lockPath(Name));
 }
 
+ScanPrefixResult CacheBackend::scanPrefix(const std::string &Prefix) const {
+  ScanPrefixResult R;
+  R.Entries = scan(Prefix, "");
+  return R;
+}
+
 bool fgbs::atomicWriteFile(const std::string &Path, std::string_view Bytes) {
   // Unique per process AND per call so two stores of one name never
   // share a temp file; the temp sits next to its target, keeping the
@@ -72,8 +78,24 @@ LocalDirBackend::LocalDirBackend(std::string Dir) : Dir(std::move(Dir)) {
   fs::create_directories(this->Dir, Ec);
 }
 
+std::string LocalDirBackend::encodeFileName(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out)
+    if (C == '/')
+      C = '~';
+  return Out;
+}
+
+std::string LocalDirBackend::decodeFileName(const std::string &FileName) {
+  std::string Out = FileName;
+  for (char &C : Out)
+    if (C == '~')
+      C = '/';
+  return Out;
+}
+
 std::string LocalDirBackend::fullPath(const std::string &Name) const {
-  return (fs::path(Dir) / Name).string();
+  return (fs::path(Dir) / encodeFileName(Name)).string();
 }
 
 bool LocalDirBackend::exists(const std::string &Name) const {
@@ -95,6 +117,10 @@ bool LocalDirBackend::get(const std::string &Name,
 }
 
 bool LocalDirBackend::put(const std::string &Name, std::string_view Bytes) {
+  // '~' is the '/' escape in on-disk names; a raw '~' would collide
+  // with an encoded entry and decode to a different name on scan.
+  if (Name.find('~') != std::string::npos)
+    return false;
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
   return atomicWriteFile(fullPath(Name), Bytes);
@@ -118,19 +144,22 @@ std::vector<CacheEntry> LocalDirBackend::scan(const std::string &Prefix,
       break;
     if (!It->is_regular_file(Ec))
       continue;
-    std::string Name = It->path().filename().string();
+    std::string FileName = It->path().filename().string();
     // atomicWriteFile() temp files are never entries, whatever the
     // filters say: a crashed writer's leftovers must not be loaded,
     // counted against byte budgets, or adopted by a manifest rescan.
     // Old ones are debris (no live writer renames after an hour) and
     // are swept here, the one place that already walks the directory.
-    if (Name.find(".tmp.") != std::string::npos) {
+    if (FileName.find(".tmp.") != std::string::npos) {
       struct stat TempSt;
       if (::stat(It->path().c_str(), &TempSt) == 0 &&
           Now - TempSt.st_mtime > kStaleTempFileSeconds)
         fs::remove(It->path(), Ec);
       continue;
     }
+    // Filters apply to the decoded (namespaced) name, so callers can
+    // ask for `model/foo/` without knowing about the flat encoding.
+    std::string Name = decodeFileName(FileName);
     if (Name.size() < Prefix.size() + Suffix.size() ||
         Name.compare(0, Prefix.size(), Prefix) != 0 ||
         Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) != 0)

@@ -45,6 +45,28 @@ struct CacheEntry {
   std::int64_t AccessUnixSeconds = 0;
 };
 
+/// How a scanPrefix() call resolved.  Distinct from "empty result":
+/// a registry that asks an old server for `model/foo/sha/` must be able
+/// to tell "there are no snapshots" (Ok, zero entries) apart from "this
+/// server cannot answer that question" (Unsupported) and "the network
+/// ate the answer" (Failed) — the first is authoritative, the others
+/// must not be treated as it.
+enum class ScanPrefixOutcome {
+  Ok,          ///< Entries is the complete, authoritative listing.
+  Unsupported, ///< The backend (or the server behind it) predates
+               ///< scan-by-prefix; Entries is empty and means nothing.
+  Failed,      ///< Transport or storage error; Entries may be partial.
+};
+
+struct ScanPrefixResult {
+  ScanPrefixOutcome Outcome = ScanPrefixOutcome::Ok;
+  std::vector<CacheEntry> Entries;
+  /// Human-readable detail for Unsupported/Failed.
+  std::string Message;
+
+  explicit operator bool() const { return Outcome == ScanPrefixOutcome::Ok; }
+};
+
 /// Writer election for one named entry — the abstraction over "who gets
 /// to simulate and publish".  LocalDirBackend hands out FileLock-backed
 /// locks (per-host, crash-released by the kernel); RemoteCacheBackend
@@ -116,6 +138,20 @@ public:
   virtual std::vector<CacheEntry> scan(const std::string &Prefix,
                                        const std::string &Suffix) const = 0;
 
+  /// Enumerates blobs whose name starts with \p Prefix, with a typed
+  /// outcome (see ScanPrefixOutcome).  Default: scan(Prefix, "") marked
+  /// Ok, which is correct for every backend whose scan() is
+  /// authoritative; RemoteCacheBackend overrides this to surface
+  /// old-server (Unsupported) and transport (Failed) conditions.
+  virtual ScanPrefixResult scanPrefix(const std::string &Prefix) const;
+
+  /// True when the backend can currently serve requests.  Local
+  /// backends are always healthy; RemoteCacheBackend pings.  The model
+  /// registry uses this to decide between "the registry said the ref is
+  /// gone" (authoritative) and "the registry is down, degrade to the
+  /// local copy".
+  virtual bool healthy() const { return true; }
+
   /// Where a FileLock coordinating writers of \p Name should live;
   /// empty when this backend needs no cross-process locking (it brings
   /// its own atomicity, and its lifecycle is managed where the blobs
@@ -140,6 +176,13 @@ bool atomicWriteFile(const std::string &Path, std::string_view Bytes);
 inline constexpr std::int64_t kStaleTempFileSeconds = 3600;
 
 /// A flat directory of blobs (created on first use).
+///
+/// Namespaced entry names (`model/<name>/sha/<hex>`) are stored flat:
+/// '/' is encoded as '~' in the on-disk file name and decoded on
+/// enumeration, so a shard directory never grows subdirectories and
+/// every existing flat (measurement) name maps to itself.  '~' is
+/// reserved — put() rejects names containing it, because such a name
+/// would collide with an encoded one and decode to something else.
 class LocalDirBackend final : public CacheBackend {
 public:
   explicit LocalDirBackend(std::string Dir);
@@ -153,6 +196,12 @@ public:
   std::vector<CacheEntry> scan(const std::string &Prefix,
                                const std::string &Suffix) const override;
   std::string lockPath(const std::string &Name) const override;
+
+  /// The '/'<->'~' mapping between entry names and flat on-disk file
+  /// names.  Exposed for tests and for tools that look at shard
+  /// directories directly.
+  static std::string encodeFileName(const std::string &Name);
+  static std::string decodeFileName(const std::string &FileName);
 
 private:
   std::string fullPath(const std::string &Name) const;

@@ -7,6 +7,7 @@
 
 #include "fgbs/core/RemoteCacheBackend.h"
 
+#include "fgbs/obs/Json.h"
 #include "fgbs/obs/Metrics.h"
 #include "fgbs/support/BinaryIo.h"
 
@@ -207,7 +208,7 @@ bool RemoteCacheBackend::request(Opcode Op, std::string_view Payload,
   return false;
 }
 
-bool RemoteCacheBackend::ping() {
+bool RemoteCacheBackend::ping() const {
   Frame Response;
   return request(Opcode::Ping, {}, Response) && Response.Op == Opcode::Ok;
 }
@@ -280,6 +281,55 @@ RemoteCacheBackend::scan(const std::string &Prefix,
   return Out;
 }
 
+ScanPrefixResult
+RemoteCacheBackend::scanPrefix(const std::string &Prefix) const {
+  ScanPrefixResult R;
+  std::string Payload;
+  putStr(Payload, Prefix);
+  Frame Response;
+  if (!request(Opcode::ScanPrefix, Payload, Response)) {
+    R.Outcome = ScanPrefixOutcome::Failed;
+    R.Message = "scan_prefix: " + address() + " unreachable";
+    return R;
+  }
+  if (Response.Op == Opcode::Error) {
+    ByteReader ErrIn(Response.Payload);
+    std::string Message = ErrIn.str();
+    // A pre-namespace server answers every unknown opcode with this
+    // message; that is "the server cannot enumerate", not "nothing
+    // matched", and the two must stay distinguishable.
+    if (Message.find("unsupported opcode") != std::string::npos) {
+      R.Outcome = ScanPrefixOutcome::Unsupported;
+      R.Message = address() + " predates scan_prefix";
+      return R;
+    }
+    R.Outcome = ScanPrefixOutcome::Failed;
+    R.Message = "scan_prefix: " + Message;
+    return R;
+  }
+  if (Response.Op != Opcode::Ok) {
+    R.Outcome = ScanPrefixOutcome::Failed;
+    R.Message = "scan_prefix: unexpected response";
+    return R;
+  }
+  ByteReader In(Response.Payload);
+  std::uint32_t Count = In.u32();
+  R.Entries.reserve(std::min<std::uint32_t>(Count, 4096));
+  for (std::uint32_t I = 0; I < Count && !In.overrun(); ++I) {
+    CacheEntry E;
+    E.Name = In.str();
+    E.SizeBytes = In.u64();
+    E.AccessUnixSeconds = static_cast<std::int64_t>(In.u64());
+    R.Entries.push_back(std::move(E));
+  }
+  if (In.overrun() || R.Entries.size() != Count) {
+    R.Entries.clear();
+    R.Outcome = ScanPrefixOutcome::Failed;
+    R.Message = "scan_prefix: damaged listing";
+  }
+  return R;
+}
+
 std::string RemoteCacheBackend::lockPath(const std::string &) const {
   // The server owns atomicity and lifecycle; there is no local lock
   // file to point at.  Writer election goes through writerLock().
@@ -289,6 +339,32 @@ std::string RemoteCacheBackend::lockPath(const std::string &) const {
 std::unique_ptr<WriterLock>
 RemoteCacheBackend::writerLock(const std::string &Name) {
   return std::make_unique<RemoteWriterLock>(*this, Name);
+}
+
+bool RemoteCacheBackend::pruneRemote(std::uint64_t MaxBytes,
+                                     std::uint64_t MaxAgeSeconds,
+                                     std::uint64_t ModelMaxBytes,
+                                     std::uint64_t ModelMaxAgeSeconds,
+                                     std::uint64_t *EntriesOut,
+                                     std::uint64_t *RemovedOut) {
+  std::string Payload;
+  putU64(Payload, MaxBytes);
+  putU64(Payload, MaxAgeSeconds);
+  putU64(Payload, ModelMaxBytes);
+  putU64(Payload, ModelMaxAgeSeconds);
+  Frame Response;
+  if (!request(Opcode::Prune, Payload, Response) || Response.Op != Opcode::Ok)
+    return false;
+  ByteReader In(Response.Payload);
+  std::uint64_t Entries = In.u64();
+  std::uint64_t Removed = In.u64();
+  if (In.overrun())
+    return false;
+  if (EntriesOut)
+    *EntriesOut = Entries;
+  if (RemovedOut)
+    *RemovedOut = Removed;
+  return true;
 }
 
 bool RemoteCacheBackend::pruneRemote(std::uint64_t MaxBytes,
@@ -462,8 +538,96 @@ bool RemoteCacheBackend::statsRemote(RemoteCacheStats &Out) {
   S.FarmRequeued = In.u64();
   S.FarmHeartbeats = In.u64();
   S.FarmDropped = In.u64();
-  if (In.overrun() || S.Shards.size() != Shards || !In.atEnd())
+  if (In.overrun() || S.Shards.size() != Shards)
     return false;
+  // Namespace extension: present iff bytes remain (a pre-namespace
+  // server's response ends exactly here).
+  if (!In.atEnd()) {
+    std::uint32_t ModelShards = In.u32();
+    S.ModelShards.reserve(std::min<std::uint32_t>(ModelShards, 4096));
+    for (std::uint32_t I = 0; I < ModelShards && !In.overrun(); ++I) {
+      RemoteShardStats Sh;
+      Sh.Entries = In.u64();
+      Sh.Bytes = In.u64();
+      S.ModelShards.push_back(Sh);
+    }
+    S.ModelGets = In.u64();
+    S.ModelPuts = In.u64();
+    S.ModelRefPuts = In.u64();
+    S.ScanPrefixes = In.u64();
+    if (In.overrun() || S.ModelShards.size() != ModelShards || !In.atEnd())
+      return false;
+    S.HasModelStats = true;
+  }
   Out = std::move(S);
   return true;
+}
+
+std::string fgbs::renderStatsJson(const RemoteCacheStats &S) {
+  using obs::JsonValue;
+  auto ShardArray = [](const std::vector<RemoteShardStats> &Shards) {
+    JsonValue Arr = JsonValue::array();
+    for (const RemoteShardStats &Sh : Shards) {
+      JsonValue One = JsonValue::object();
+      One.set("entries", JsonValue(static_cast<double>(Sh.Entries)));
+      One.set("bytes", JsonValue(static_cast<double>(Sh.Bytes)));
+      Arr.push(std::move(One));
+    }
+    return Arr;
+  };
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", JsonValue("fgbs.cachestats.v1"));
+
+  JsonValue Meas = JsonValue::object();
+  Meas.set("shards", ShardArray(S.Shards));
+  std::uint64_t Entries = 0, Bytes = 0;
+  for (const RemoteShardStats &Sh : S.Shards) {
+    Entries += Sh.Entries;
+    Bytes += Sh.Bytes;
+  }
+  Meas.set("entries", JsonValue(static_cast<double>(Entries)));
+  Meas.set("bytes", JsonValue(static_cast<double>(Bytes)));
+  Meas.set("hits", JsonValue(static_cast<double>(S.Hits)));
+  Meas.set("misses", JsonValue(static_cast<double>(S.Misses)));
+  Doc.set("meas", std::move(Meas));
+
+  JsonValue Leases = JsonValue::object();
+  Leases.set("granted", JsonValue(static_cast<double>(S.LeasesGranted)));
+  Leases.set("denied", JsonValue(static_cast<double>(S.LeasesDenied)));
+  Doc.set("leases", std::move(Leases));
+
+  JsonValue Farm = JsonValue::object();
+  Farm.set("pending", JsonValue(static_cast<double>(S.QueuePending)));
+  Farm.set("claimed", JsonValue(static_cast<double>(S.QueueClaimed)));
+  Farm.set("enqueued", JsonValue(static_cast<double>(S.FarmEnqueued)));
+  Farm.set("claims", JsonValue(static_cast<double>(S.FarmClaimed)));
+  Farm.set("completed", JsonValue(static_cast<double>(S.FarmCompleted)));
+  Farm.set("requeued", JsonValue(static_cast<double>(S.FarmRequeued)));
+  Farm.set("heartbeats", JsonValue(static_cast<double>(S.FarmHeartbeats)));
+  Farm.set("dropped", JsonValue(static_cast<double>(S.FarmDropped)));
+  Doc.set("farm", std::move(Farm));
+
+  // "model": null from a pre-namespace server — dashboards can tell
+  // "server cannot say" from "zero models".
+  if (S.HasModelStats) {
+    JsonValue Model = JsonValue::object();
+    Model.set("shards", ShardArray(S.ModelShards));
+    std::uint64_t MEntries = 0, MBytes = 0;
+    for (const RemoteShardStats &Sh : S.ModelShards) {
+      MEntries += Sh.Entries;
+      MBytes += Sh.Bytes;
+    }
+    Model.set("entries", JsonValue(static_cast<double>(MEntries)));
+    Model.set("bytes", JsonValue(static_cast<double>(MBytes)));
+    Model.set("gets", JsonValue(static_cast<double>(S.ModelGets)));
+    Model.set("puts", JsonValue(static_cast<double>(S.ModelPuts)));
+    Model.set("ref_puts", JsonValue(static_cast<double>(S.ModelRefPuts)));
+    Model.set("scan_prefixes",
+              JsonValue(static_cast<double>(S.ScanPrefixes)));
+    Doc.set("model", std::move(Model));
+  } else {
+    Doc.set("model", JsonValue());
+  }
+  return obs::writeJson(Doc, 2) + "\n";
 }

@@ -85,7 +85,21 @@ struct RemoteCacheStats {
   std::uint64_t FarmRequeued = 0;
   std::uint64_t FarmHeartbeats = 0;
   std::uint64_t FarmDropped = 0;
+  /// Namespace extension (servers that speak the model/ namespace
+  /// append it; HasModelStats distinguishes "old server" from "all
+  /// zeros").
+  bool HasModelStats = false;
+  std::vector<RemoteShardStats> ModelShards;
+  std::uint64_t ModelGets = 0;
+  std::uint64_t ModelPuts = 0;
+  std::uint64_t ModelRefPuts = 0;
+  std::uint64_t ScanPrefixes = 0;
 };
+
+/// Renders \p S as the stable `fgbs.cachestats.v1` JSON document that
+/// `fgbs_cached --stats --json` emits (sorted keys, schema field first)
+/// so dashboards scrape a schema, not human text.
+std::string renderStatsJson(const RemoteCacheStats &S);
 
 /// How a RemoteCacheBackend reaches its server.
 struct RemoteCacheConfig {
@@ -123,7 +137,7 @@ public:
   }
 
   /// One Ping round trip; true when the server answers.
-  bool ping();
+  bool ping() const;
 
   bool exists(const std::string &Name) const override;
   bool get(const std::string &Name, std::string &BytesOut) const override;
@@ -131,6 +145,14 @@ public:
   bool remove(const std::string &Name) override;
   std::vector<CacheEntry> scan(const std::string &Prefix,
                                const std::string &Suffix) const override;
+  /// ScanPrefix round trip with typed degradation: Unsupported when the
+  /// server answers "unsupported opcode" (it predates ScanPrefix — an
+  /// empty listing from it means nothing), Failed when the network ate
+  /// the answer.  Never silently empty.
+  ScanPrefixResult scanPrefix(const std::string &Prefix) const override;
+  /// One Ping: the registry's "is an empty/missing answer
+  /// authoritative, or is the server down" probe.
+  bool healthy() const override { return ping(); }
   std::string lockPath(const std::string &Name) const override;
   std::unique_ptr<WriterLock> writerLock(const std::string &Name) override;
 
@@ -139,6 +161,15 @@ public:
   bool pruneRemote(std::uint64_t MaxBytes, std::uint64_t MaxAgeSeconds,
                    std::uint64_t *EntriesOut = nullptr,
                    std::uint64_t *RemovedOut = nullptr);
+
+  /// Prune with a second, model/-scoped budget pair (sent as the Prune
+  /// opcode's extension payload; old servers reject it as damaged, so
+  /// only call this against namespace-aware servers or on explicit
+  /// operator request).
+  bool pruneRemote(std::uint64_t MaxBytes, std::uint64_t MaxAgeSeconds,
+                   std::uint64_t ModelMaxBytes,
+                   std::uint64_t ModelMaxAgeSeconds,
+                   std::uint64_t *EntriesOut, std::uint64_t *RemovedOut);
 
   /// Lease primitives behind writerLock() (exposed for tests).
   bool lockAcquire(const std::string &Name, std::uint64_t Token,

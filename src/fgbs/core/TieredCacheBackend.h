@@ -68,6 +68,16 @@ public:
   bool remove(const std::string &Name) override;
   std::vector<CacheEntry> scan(const std::string &Prefix,
                                const std::string &Suffix) const override;
+  /// Local-only, like scan() (fleet-wide enumeration goes through the
+  /// remote backend directly), so it is always Ok.
+  ScanPrefixResult scanPrefix(const std::string &Prefix) const override {
+    ScanPrefixResult R;
+    R.Entries = Local->scan(Prefix, "");
+    return R;
+  }
+  /// The local tier always answers, so the composite is healthy even
+  /// when the remote is down (reads degrade, they do not fail).
+  bool healthy() const override { return Local->healthy(); }
   std::string lockPath(const std::string &Name) const override;
   std::unique_ptr<WriterLock> writerLock(const std::string &Name) override;
 

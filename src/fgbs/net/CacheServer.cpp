@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
 
 using namespace fgbs;
@@ -76,6 +77,76 @@ bool fgbs::net::isValidEntryName(std::string_view Name) {
   return true;
 }
 
+namespace {
+
+/// Namespaced path segments are restricted to one canonical charset so
+/// no segment needs escaping and no two wire spellings name one entry.
+bool isValidPathSegment(std::string_view Seg) {
+  if (Seg.empty() || Seg == "." || Seg == "..")
+    return false;
+  for (char C : Seg)
+    if (!((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+          (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-'))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool fgbs::net::resolveEntryName(std::string_view WireName,
+                                 WireNamespace &NsOut,
+                                 std::string &StorageOut) {
+  if (WireName.empty() || WireName.size() > 255)
+    return false;
+  // '~' is LocalDirBackend's on-disk '/'-escape; a wire name carrying
+  // it could collide with a different entry's encoded file name.
+  if (WireName.find('~') != std::string_view::npos)
+    return false;
+  const std::size_t Slash = WireName.find('/');
+  if (Slash == std::string_view::npos) {
+    // Historical flat measurement name, validated as ever.
+    if (!isValidEntryName(WireName))
+      return false;
+    NsOut = WireNamespace::Meas;
+    StorageOut.assign(WireName);
+    return true;
+  }
+  const std::string_view Ns = WireName.substr(0, Slash);
+  const std::string_view Rest = WireName.substr(Slash + 1);
+  if (Ns == "meas") {
+    // Alias of the flat space: `meas/<entry>` and `<entry>` are one
+    // entry, so the flat rules (not the segment charset) apply and the
+    // stored name is the flat one.
+    if (!isValidEntryName(Rest))
+      return false;
+    NsOut = WireNamespace::Meas;
+    StorageOut.assign(Rest);
+    return true;
+  }
+  if (Ns != "model")
+    return false;
+  // model/<seg>/<seg>/... — every segment canonical, no empty segment
+  // (catches "//" and a trailing '/').
+  if (Rest.empty())
+    return false;
+  std::string_view Tail = Rest;
+  while (true) {
+    const std::size_t Next = Tail.find('/');
+    const std::string_view Seg =
+        Next == std::string_view::npos ? Tail : Tail.substr(0, Next);
+    if (!isValidPathSegment(Seg))
+      return false;
+    if (Next == std::string_view::npos)
+      break;
+    Tail = Tail.substr(Next + 1);
+    if (Tail.empty()) // trailing '/'
+      return false;
+  }
+  NsOut = WireNamespace::Model;
+  StorageOut.assign(WireName);
+  return true;
+}
+
 unsigned CacheServer::shardForName(std::string_view Name, unsigned Shards) {
   if (Shards <= 1)
     return 0;
@@ -95,6 +166,30 @@ unsigned CacheServer::shardForName(std::string_view Name, unsigned Shards) {
     }
     if (AllHex)
       return Lead % Shards;
+  }
+  return crc32(Name) % Shards;
+}
+
+unsigned CacheServer::modelShardForName(std::string_view Name,
+                                        unsigned Shards) {
+  if (Shards <= 1)
+    return 0;
+  // Content-addressed `.../sha/<hex>` blobs route on their own hash
+  // digits, like canonical measurement entries do.
+  constexpr std::string_view Marker = "/sha/";
+  const std::size_t Pos = Name.rfind(Marker);
+  if (Pos != std::string_view::npos) {
+    const std::string_view Hex = Name.substr(Pos + Marker.size());
+    if (Hex.size() >= 8) {
+      bool AllHex = true;
+      std::uint32_t Lead = 0;
+      for (std::size_t I = 0; I < 8 && AllHex; ++I) {
+        AllHex = isHexDigit(Hex[I]);
+        Lead = (Lead << 4) | hexValue(Hex[I]);
+      }
+      if (AllHex)
+        return Lead % Shards;
+    }
   }
   return crc32(Name) % Shards;
 }
@@ -121,10 +216,16 @@ bool CacheServer::start(std::string *Error) {
     return false;
 
   ShardBackends.clear();
+  ModelShardBackends.clear();
   for (unsigned I = 0; I < Config.Shards; ++I) {
     char Leaf[32];
     std::snprintf(Leaf, sizeof(Leaf), "shard-%02u", I);
     ShardBackends.push_back(std::make_unique<LocalDirBackend>(
+        (std::filesystem::path(Config.Root) / Leaf).string()));
+    // Model artifacts live in their own directories so namespace
+    // budgets and prune policy never interleave with measurements.
+    std::snprintf(Leaf, sizeof(Leaf), "model-shard-%02u", I);
+    ModelShardBackends.push_back(std::make_unique<LocalDirBackend>(
         (std::filesystem::path(Config.Root) / Leaf).string()));
   }
 
@@ -201,8 +302,10 @@ bool CacheServer::respondError(Socket &Conn, const std::string &Message) {
   return respond(Conn, Opcode::Error, Payload);
 }
 
-CacheBackend &CacheServer::shardFor(const std::string &Name) {
-  return *ShardBackends[shardForName(Name, shards())];
+CacheBackend &CacheServer::backendFor(bool Model, const std::string &Storage) {
+  if (Model)
+    return *ModelShardBackends[modelShardForName(Storage, shards())];
+  return *ShardBackends[shardForName(Storage, shards())];
 }
 
 void CacheServer::pruneShard(unsigned Shard) {
@@ -215,11 +318,54 @@ void CacheServer::pruneShard(unsigned Shard) {
                   Config.MaxAgeSeconds);
 }
 
+CachePruneCounters CacheServer::pruneModelShard(unsigned Shard,
+                                                std::uint64_t MaxBytes,
+                                                std::uint64_t MaxAgeSeconds) {
+  // The measurement manifest machinery only adopts fgbs-meas-* names,
+  // so the model namespace gets its own (simpler) lifecycle: LRU by
+  // storage mtime plus an age cutoff, over `sha/` blobs only.  Refs are
+  // tiny and namable — pruning one would silently unpin a tag, whereas
+  // pruning a snapshot produces the explicit dangling-ref condition the
+  // registry client knows how to report.
+  CachePruneCounters Out;
+  LocalDirBackend &Backend = *ModelShardBackends[Shard];
+  std::vector<CacheEntry> Blobs;
+  for (CacheEntry &E : Backend.scan("model/", "")) {
+    if (E.Name.find("/sha/") == std::string::npos)
+      continue;
+    Out.Entries += 1;
+    Out.BytesBefore += E.SizeBytes;
+    Blobs.push_back(std::move(E));
+  }
+  Out.BytesAfter = Out.BytesBefore;
+  std::sort(Blobs.begin(), Blobs.end(),
+            [](const CacheEntry &A, const CacheEntry &B) {
+              return A.AccessUnixSeconds < B.AccessUnixSeconds;
+            });
+  const std::int64_t Now = static_cast<std::int64_t>(std::time(nullptr));
+  const std::uint64_t Budget = perShardBudget(MaxBytes, shards());
+  for (const CacheEntry &E : Blobs) {
+    const bool OverAge =
+        MaxAgeSeconds && Now - E.AccessUnixSeconds >
+                             static_cast<std::int64_t>(MaxAgeSeconds);
+    const bool OverBytes = Budget && Out.BytesAfter > Budget;
+    if (!OverAge && !OverBytes)
+      continue;
+    if (!Backend.remove(E.Name))
+      continue;
+    Out.Removed += 1;
+    Out.BytesAfter -= E.SizeBytes;
+  }
+  return Out;
+}
+
 void CacheServer::pruneAllShards() {
-  if (!Config.MaxBytes && !Config.MaxAgeSeconds)
-    return;
-  for (unsigned I = 0; I < shards(); ++I)
-    pruneShard(I);
+  if (Config.MaxBytes || Config.MaxAgeSeconds)
+    for (unsigned I = 0; I < shards(); ++I)
+      pruneShard(I);
+  if (Config.ModelMaxBytes || Config.ModelMaxAgeSeconds)
+    for (unsigned I = 0; I < shards(); ++I)
+      pruneModelShard(I, Config.ModelMaxBytes, Config.ModelMaxAgeSeconds);
 }
 
 bool CacheServer::leaseAcquire(const std::string &Name, std::uint64_t Token,
@@ -256,50 +402,72 @@ bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
 
   case Opcode::Exists: {
     std::string Name = In.str();
-    if (In.overrun() || !isValidEntryName(Name))
+    WireNamespace Ns;
+    std::string Storage;
+    if (In.overrun() || !resolveEntryName(Name, Ns, Storage))
       return respondError(Conn, "exists: bad name");
+    const bool Model = Ns == WireNamespace::Model;
     std::string Out;
-    Out.push_back(shardFor(Name).exists(Name) ? 1 : 0);
+    Out.push_back(backendFor(Model, Storage).exists(Storage) ? 1 : 0);
     return respond(Conn, Opcode::Ok, Out);
   }
 
   case Opcode::Get: {
     std::string Name = In.str();
-    if (In.overrun() || !isValidEntryName(Name))
+    WireNamespace Ns;
+    std::string Storage;
+    if (In.overrun() || !resolveEntryName(Name, Ns, Storage))
       return respondError(Conn, "get: bad name");
+    const bool Model = Ns == WireNamespace::Model;
     std::string Bytes;
-    if (!shardFor(Name).get(Name, Bytes)) {
+    if (!backendFor(Model, Storage).get(Storage, Bytes)) {
       FGBS_COUNTER_ADD("cachesrv.get.misses", 1);
       StatMisses.fetch_add(1, std::memory_order_relaxed);
       return respond(Conn, Opcode::NotFound, {});
     }
     FGBS_COUNTER_ADD("cachesrv.get.hits", 1);
     StatHits.fetch_add(1, std::memory_order_relaxed);
+    if (Model)
+      StatModelGets.fetch_add(1, std::memory_order_relaxed);
     return respond(Conn, Opcode::Ok, Bytes);
   }
 
   case Opcode::Put: {
     std::string Name = In.str();
-    if (In.overrun() || !isValidEntryName(Name))
+    WireNamespace Ns;
+    std::string Storage;
+    if (In.overrun() || !resolveEntryName(Name, Ns, Storage))
       return respondError(Conn, "put: bad name");
+    const bool Model = Ns == WireNamespace::Model;
     // The blob is the rest of the payload, unframed — no second length
     // field to disagree with the frame's.
     std::string_view Blob =
         std::string_view(Request.Payload).substr(4 + Name.size());
-    if (!shardFor(Name).put(Name, Blob))
+    if (!backendFor(Model, Storage).put(Storage, Blob))
       return respondError(Conn, "put: cannot publish '" + Name + "'");
     FGBS_COUNTER_ADD("cachesrv.puts", 1);
-    if (Config.MaxBytes || Config.MaxAgeSeconds)
-      pruneShard(shardForName(Name, shards()));
+    if (Model) {
+      StatModelPuts.fetch_add(1, std::memory_order_relaxed);
+      if (Storage.find("/ref/") != std::string::npos)
+        StatModelRefPuts.fetch_add(1, std::memory_order_relaxed);
+      if (Config.ModelMaxBytes || Config.ModelMaxAgeSeconds)
+        pruneModelShard(modelShardForName(Storage, shards()),
+                        Config.ModelMaxBytes, Config.ModelMaxAgeSeconds);
+    } else if (Config.MaxBytes || Config.MaxAgeSeconds) {
+      pruneShard(shardForName(Storage, shards()));
+    }
     return respond(Conn, Opcode::Ok, {});
   }
 
   case Opcode::Remove: {
     std::string Name = In.str();
-    if (In.overrun() || !isValidEntryName(Name))
+    WireNamespace Ns;
+    std::string Storage;
+    if (In.overrun() || !resolveEntryName(Name, Ns, Storage))
       return respondError(Conn, "remove: bad name");
+    const bool Model = Ns == WireNamespace::Model;
     std::string Out;
-    Out.push_back(shardFor(Name).remove(Name) ? 1 : 0);
+    Out.push_back(backendFor(Model, Storage).remove(Storage) ? 1 : 0);
     return respond(Conn, Opcode::Ok, Out);
   }
 
@@ -329,6 +497,18 @@ bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
     std::uint64_t MaxAgeSeconds = In.u64();
     if (In.overrun())
       return respondError(Conn, "prune: damaged budgets");
+    // Namespace-aware clients append a second budget pair for model/;
+    // its absence means "measurements only", which is exactly what a
+    // pre-namespace client asks for.
+    std::uint64_t ModelMaxBytes = 0, ModelMaxAgeSeconds = 0;
+    bool PruneModels = false;
+    if (In.remaining() >= 16) {
+      ModelMaxBytes = In.u64();
+      ModelMaxAgeSeconds = In.u64();
+      if (In.overrun() || !In.atEnd())
+        return respondError(Conn, "prune: damaged budgets");
+      PruneModels = true;
+    }
     CachePruneStats Total;
     for (unsigned I = 0; I < shards(); ++I) {
       MeasurementCache Shardwise(
@@ -340,6 +520,15 @@ bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
       Total.BytesBefore += S.BytesBefore;
       Total.BytesAfter += S.BytesAfter;
     }
+    if (PruneModels && (ModelMaxBytes || ModelMaxAgeSeconds))
+      for (unsigned I = 0; I < shards(); ++I) {
+        CachePruneCounters S =
+            pruneModelShard(I, ModelMaxBytes, ModelMaxAgeSeconds);
+        Total.Entries += S.Entries;
+        Total.Removed += S.Removed;
+        Total.BytesBefore += S.BytesBefore;
+        Total.BytesAfter += S.BytesAfter;
+      }
     std::string Out;
     putU64(Out, Total.Entries);
     putU64(Out, Total.Removed);
@@ -348,13 +537,61 @@ bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
     return respond(Conn, Opcode::Ok, Out);
   }
 
+  case Opcode::ScanPrefix: {
+    std::string Prefix = In.str();
+    if (In.overrun() || !In.atEnd())
+      return respondError(Conn, "scan_prefix: damaged prefix");
+    StatScanPrefixes.fetch_add(1, std::memory_order_relaxed);
+    // Route the walk by the prefix's namespace so a model enumeration
+    // never pays for a measurement-shard directory walk (and vice
+    // versa); the empty prefix means "everything", both spaces.
+    const bool WantModel =
+        Prefix.empty() || std::string_view(Prefix).substr(0, 6) == "model/";
+    const bool WantMeas = !WantModel || Prefix.empty();
+    std::vector<CacheEntry> All;
+    if (WantMeas) {
+      // `meas/<p>` filters the flat space by `<p>` but reports the
+      // spelling the client asked in, so returned names feed straight
+      // back into Get.
+      std::string Flat = Prefix;
+      std::string Respell;
+      if (std::string_view(Prefix).substr(0, 5) == "meas/") {
+        Flat = Prefix.substr(5);
+        Respell = "meas/";
+      }
+      for (const auto &Shard : ShardBackends)
+        for (CacheEntry &E : Shard->scan(Flat, "")) {
+          E.Name = Respell + E.Name;
+          All.push_back(std::move(E));
+        }
+    }
+    if (WantModel)
+      for (const auto &Shard : ModelShardBackends)
+        for (CacheEntry &E : Shard->scan(Prefix.empty() ? "model/" : Prefix,
+                                         ""))
+          All.push_back(std::move(E));
+    std::string Out;
+    putU32(Out, static_cast<std::uint32_t>(All.size()));
+    for (const CacheEntry &E : All) {
+      putStr(Out, E.Name);
+      putU64(Out, E.SizeBytes);
+      putU64(Out, static_cast<std::uint64_t>(E.AccessUnixSeconds));
+    }
+    return respond(Conn, Opcode::Ok, Out);
+  }
+
   case Opcode::LockAcquire: {
     std::string Name = In.str();
     std::uint64_t Token = In.u64();
     std::uint64_t TtlMs = In.u64();
-    if (In.overrun() || !isValidEntryName(Name) || Token == 0 || TtlMs == 0)
+    WireNamespace Ns;
+    std::string Storage;
+    if (In.overrun() || !resolveEntryName(Name, Ns, Storage) || Token == 0 ||
+        TtlMs == 0)
       return respondError(Conn, "lock_acquire: bad lease request");
-    bool Granted = leaseAcquire(Name, Token, TtlMs);
+    // Leases key on the storage name so an entry's alias spellings
+    // (`x` and `meas/x`) elect one writer, not two.
+    bool Granted = leaseAcquire(Storage, Token, TtlMs);
     if (Granted) {
       FGBS_COUNTER_ADD("cachesrv.lock.granted", 1);
       StatLeasesGranted.fetch_add(1, std::memory_order_relaxed);
@@ -370,10 +607,12 @@ bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
   case Opcode::LockRelease: {
     std::string Name = In.str();
     std::uint64_t Token = In.u64();
-    if (In.overrun() || !isValidEntryName(Name) || Token == 0)
+    WireNamespace Ns;
+    std::string Storage;
+    if (In.overrun() || !resolveEntryName(Name, Ns, Storage) || Token == 0)
       return respondError(Conn, "lock_release: bad lease request");
     std::string Out;
-    Out.push_back(leaseRelease(Name, Token) ? 1 : 0);
+    Out.push_back(leaseRelease(Storage, Token) ? 1 : 0);
     return respond(Conn, Opcode::Ok, Out);
   }
 
@@ -386,7 +625,7 @@ bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
     // Work whose result was already published must never queue again:
     // the storage check lives here, next to the shards, so the queue
     // itself stays a pure data structure.
-    if (shardFor(Name).exists(Name)) {
+    if (backendFor(/*Model=*/false, Name).exists(Name)) {
       Status = EnqueueStatus::AlreadyPublished;
     } else {
       Status = Farm.enqueue(Name, Spec);
@@ -487,6 +726,22 @@ bool CacheServer::handleFrame(Socket &Conn, const Frame &Request) {
     putU64(Out, Q.Requeued);
     putU64(Out, Q.Heartbeats);
     putU64(Out, Q.Dropped);
+    // Namespace extension: appended after the pre-namespace layout so
+    // old clients (which stop reading here) still parse the response.
+    putU32(Out, shards());
+    for (const auto &Shard : ModelShardBackends) {
+      std::uint64_t Entries = 0, Bytes = 0;
+      for (const CacheEntry &E : Shard->scan("", "")) {
+        ++Entries;
+        Bytes += E.SizeBytes;
+      }
+      putU64(Out, Entries);
+      putU64(Out, Bytes);
+    }
+    putU64(Out, StatModelGets.load(std::memory_order_relaxed));
+    putU64(Out, StatModelPuts.load(std::memory_order_relaxed));
+    putU64(Out, StatModelRefPuts.load(std::memory_order_relaxed));
+    putU64(Out, StatScanPrefixes.load(std::memory_order_relaxed));
     return respond(Conn, Opcode::Ok, Out);
   }
 

@@ -19,6 +19,17 @@
 /// per-server, never per-client (clients address the server, not the
 /// shards).
 ///
+/// Namespaces: wire names without '/' are the historical flat
+/// measurement space; `meas/<entry>` is an alias for that same space
+/// (one entry, two spellings), and `model/<name>/...` is a separate set
+/// of model shard directories with its own byte/age budgets — model
+/// snapshots are large and long-lived, and must not be evicted by
+/// measurement churn (nor crowd measurements out).  Within the model
+/// namespace only `.../sha/<hex>` blobs are budget-pruned; tiny
+/// `.../ref/<tag>` blobs are never touched by the pruner, so a dangling
+/// ref means "the snapshot aged out", a condition the registry client
+/// reports distinctly.
+///
 /// Writer coordination across the fleet uses token leases, not file
 /// locks: LockAcquire(name, token, ttl) grants when the name is free or
 /// already owned by that token (renewal), and a lease silently expires
@@ -89,11 +100,24 @@ struct CacheServerConfig {
   /// byte budget is the whole server's; each shard gets an equal split.
   std::uint64_t MaxBytes = 0;
   std::uint64_t MaxAgeSeconds = 0;
+  /// Same, scoped to the model/ namespace (its shard set is pruned
+  /// independently; only sha blobs count, refs are never pruned).
+  std::uint64_t ModelMaxBytes = 0;
+  std::uint64_t ModelMaxAgeSeconds = 0;
   /// A connection with no complete frame for this long is closed (it
   /// can simply reconnect; leases survive, they are TTL-based).
   std::uint64_t IdleTimeoutMs = 30000;
   /// Deadline for each single frame send/receive once started.
   std::uint64_t IoTimeoutMs = 10000;
+};
+
+/// pruneModelShard's tally (mirrors core CachePruneStats without
+/// pulling MeasurementCache.h into this header).
+struct CachePruneCounters {
+  std::uint64_t Entries = 0;
+  std::uint64_t Removed = 0;
+  std::uint64_t BytesBefore = 0;
+  std::uint64_t BytesAfter = 0;
 };
 
 /// The daemon: start() binds and serves in background threads until
@@ -129,9 +153,15 @@ public:
   /// whole name, reduced modulo \p Shards.
   static unsigned shardForName(std::string_view Name, unsigned Shards);
 
+  /// Which model shard a `model/...` storage name routes to: the
+  /// leading 8 hex digits of its `sha/<hex>` leaf when it has one, else
+  /// CRC-32 of the whole name, reduced modulo \p Shards.
+  static unsigned modelShardForName(std::string_view Name, unsigned Shards);
+
   /// Runs the PR 5 lifecycle (manifest, LRU, age) over every shard with
   /// the configured budgets — the periodic self-prune hook fgbs_cached
   /// calls so a long-lived daemon honours its budget without a cron.
+  /// Model shards prune under their own budgets.
   void pruneAllShards();
 
 private:
@@ -144,12 +174,22 @@ private:
   bool respond(Socket &Conn, Opcode Op, std::string_view Payload);
   bool respondError(Socket &Conn, const std::string &Message);
 
-  CacheBackend &shardFor(const std::string &Name);
+  /// The backend a resolved wire name stores into: a measurement shard
+  /// keyed on the flat storage name, or a model shard keyed on the
+  /// namespaced one.
+  CacheBackend &backendFor(bool Model, const std::string &Storage);
   void pruneShard(unsigned Shard);
+  /// LRU + age pruning over one model shard's `sha/` blobs (refs are
+  /// exempt); budgets are the per-shard slice of \p MaxBytes /
+  /// \p MaxAgeSeconds.  Returns {entries, removed, bytes-before,
+  /// bytes-after} aggregated over sha blobs only.
+  CachePruneCounters pruneModelShard(unsigned Shard, std::uint64_t MaxBytes,
+                                     std::uint64_t MaxAgeSeconds);
 
   CacheServerConfig Config;
   Listener Listen;
   std::vector<std::unique_ptr<LocalDirBackend>> ShardBackends;
+  std::vector<std::unique_ptr<LocalDirBackend>> ModelShardBackends;
   std::unique_ptr<ThreadPool> Pool;
   std::thread ServeThread;
   std::atomic<bool> StopFlag{false};
@@ -177,12 +217,37 @@ private:
   std::atomic<std::uint64_t> StatMisses{0};
   std::atomic<std::uint64_t> StatLeasesGranted{0};
   std::atomic<std::uint64_t> StatLeasesDenied{0};
+  std::atomic<std::uint64_t> StatModelGets{0};
+  std::atomic<std::uint64_t> StatModelPuts{0};
+  std::atomic<std::uint64_t> StatModelRefPuts{0};
+  std::atomic<std::uint64_t> StatScanPrefixes{0};
 };
 
 /// True when \p Name is safe to map into a shard directory: non-empty,
 /// at most 255 bytes, no path separators, and not "." or ".." — the
 /// server rejects anything else before it touches the filesystem.
 bool isValidEntryName(std::string_view Name);
+
+/// Which namespace a resolved wire name lives in.
+enum class WireNamespace {
+  Meas,  ///< The historical flat measurement space.
+  Model, ///< `model/...` artifact space (own shards, own budgets).
+};
+
+/// Resolves a wire entry name to its namespace and storage name.
+///
+///   <flat>            -> Meas, storage "<flat>"      (back-compat)
+///   meas/<flat>       -> Meas, storage "<flat>"      (alias)
+///   model/<segments>  -> Model, storage "model/<segments>"
+///
+/// Rejects (returns false): any other namespace, empty / "." / ".." /
+/// over-long segments, characters outside [A-Za-z0-9._-] in a
+/// namespaced segment, a trailing '/', "//", '~' anywhere (reserved as
+/// the storage '/'-escape), and names over 255 bytes — there is exactly
+/// one accepted spelling per entry, so validation cannot be dodged by
+/// an alternate encoding.
+bool resolveEntryName(std::string_view WireName, WireNamespace &NsOut,
+                      std::string &StorageOut);
 
 } // namespace net
 } // namespace fgbs

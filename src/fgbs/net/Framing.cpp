@@ -47,6 +47,8 @@ const char *fgbs::net::opcodeName(Opcode Op) {
     return "abandon_work";
   case Opcode::Stats:
     return "stats";
+  case Opcode::ScanPrefix:
+    return "scan_prefix";
   case Opcode::Ok:
     return "ok";
   case Opcode::NotFound:

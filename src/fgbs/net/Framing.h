@@ -31,8 +31,20 @@
 ///   Remove      str name
 ///   Scan        str prefix, str suffix
 ///   Prune       u64 max-bytes, u64 max-age-seconds
+///               [, u64 model-max-bytes, u64 model-max-age-seconds]
+///               (the optional pair scopes a second budget to the
+///               model/ namespace; absent means "measurement budget
+///               only", which is what pre-namespace clients send)
 ///   LockAcquire str name, u64 owner token, u64 ttl-ms
 ///   LockRelease str name, u64 owner token
+///   ScanPrefix  str prefix
+///               -> Ok u32 count, count x { str name, u64 size-bytes,
+///                  u64 atime-unix-seconds } — names only, never
+///                  payloads, so a registry can enumerate
+///                  `model/<name>/...` cheaply.  Namespace routing:
+///                  `model/...` walks the model shards, `meas/...` (and
+///                  any flat prefix) walks the measurement shards, the
+///                  empty prefix walks both.
 ///
 /// Work-distribution requests (the simulation-farm queue; claims are
 /// token+TTL leases with the same crash-release semantics as writer
@@ -57,6 +69,12 @@
 ///                   u64 farm-claimed, u64 farm-completed,
 ///                   u64 farm-requeued, u64 farm-heartbeats,
 ///                   u64 farm-dropped
+///                   [, u32 model-shards, model-shards x { u64 entries,
+///                   u64 bytes }, u64 model-gets, u64 model-puts,
+///                   u64 model-ref-puts, u64 scan-prefixes]
+///                   (appended by namespace-aware servers; clients
+///                   parse it only when bytes remain, so either side
+///                   may predate the other)
 ///
 /// Response opcodes: Ok (payload per request), NotFound (Get of an
 /// absent name), Error (str human-readable message).  The connection
@@ -106,6 +124,7 @@ enum class Opcode : std::uint32_t {
   CompleteWork = 12,
   AbandonWork = 13,
   Stats = 14,
+  ScanPrefix = 15,
   Ok = 100,
   NotFound = 101,
   Error = 102,

@@ -26,6 +26,7 @@
 
 #include "fgbs/support/BinaryIo.h"
 #include "fgbs/support/Crc32.h"
+#include "fgbs/support/Sha256.h"
 
 #include <cassert>
 #include <cmath>
@@ -436,4 +437,8 @@ SnapshotLoadResult service::loadSnapshotFile(const std::string &Path) {
   if (!IS)
     return failed(SnapshotError::Io, "cannot open '" + Path + "'");
   return loadSnapshot(IS);
+}
+
+std::string service::snapshotSha256Hex(std::string_view SnapshotBytes) {
+  return sha256Hex(SnapshotBytes);
 }

@@ -161,6 +161,13 @@ bool saveSnapshotFile(const std::string &Path, const ModelSnapshot &S);
 SnapshotLoadResult loadSnapshot(std::istream &IS);
 SnapshotLoadResult loadSnapshotFile(const std::string &Path);
 
+/// The content address of a serialized snapshot: SHA-256 over the whole
+/// file image (header + payload), as 64 lowercase hex digits.  This is
+/// the `<hex>` in a registry `model/<name>/sha/<hex>` key, and what a
+/// consumer re-verifies after every pull — the header's CRC-32 catches
+/// accidental damage, the digest pins identity.
+std::string snapshotSha256Hex(std::string_view SnapshotBytes);
+
 } // namespace service
 } // namespace fgbs
 

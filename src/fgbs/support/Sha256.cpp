@@ -1,0 +1,155 @@
+//===- fgbs/support/Sha256.cpp - SHA-256 content addressing ---------------===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fgbs/support/Sha256.h"
+
+#include <cstring>
+
+using namespace fgbs;
+
+namespace {
+
+constexpr std::uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t V, unsigned N) {
+  return (V >> N) | (V << (32 - N));
+}
+
+} // namespace
+
+Sha256::Sha256()
+    : State{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+            0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
+      Buffer{} {}
+
+void Sha256::compress(const std::uint8_t *Block) {
+  std::uint32_t W[64];
+  for (unsigned I = 0; I < 16; ++I)
+    W[I] = (static_cast<std::uint32_t>(Block[4 * I]) << 24) |
+           (static_cast<std::uint32_t>(Block[4 * I + 1]) << 16) |
+           (static_cast<std::uint32_t>(Block[4 * I + 2]) << 8) |
+           static_cast<std::uint32_t>(Block[4 * I + 3]);
+  for (unsigned I = 16; I < 64; ++I) {
+    const std::uint32_t S0 =
+        rotr(W[I - 15], 7) ^ rotr(W[I - 15], 18) ^ (W[I - 15] >> 3);
+    const std::uint32_t S1 =
+        rotr(W[I - 2], 17) ^ rotr(W[I - 2], 19) ^ (W[I - 2] >> 10);
+    W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+  }
+
+  std::uint32_t A = State[0], B = State[1], C = State[2], D = State[3];
+  std::uint32_t E = State[4], F = State[5], G = State[6], H = State[7];
+  for (unsigned I = 0; I < 64; ++I) {
+    const std::uint32_t S1 = rotr(E, 6) ^ rotr(E, 11) ^ rotr(E, 25);
+    const std::uint32_t Ch = (E & F) ^ (~E & G);
+    const std::uint32_t T1 = H + S1 + Ch + kRoundConstants[I] + W[I];
+    const std::uint32_t S0 = rotr(A, 2) ^ rotr(A, 13) ^ rotr(A, 22);
+    const std::uint32_t Maj = (A & B) ^ (A & C) ^ (B & C);
+    const std::uint32_t T2 = S0 + Maj;
+    H = G;
+    G = F;
+    F = E;
+    E = D + T1;
+    D = C;
+    C = B;
+    B = A;
+    A = T1 + T2;
+  }
+  State[0] += A;
+  State[1] += B;
+  State[2] += C;
+  State[3] += D;
+  State[4] += E;
+  State[5] += F;
+  State[6] += G;
+  State[7] += H;
+}
+
+void Sha256::update(const void *Data, std::size_t Len) {
+  const std::uint8_t *Bytes = static_cast<const std::uint8_t *>(Data);
+  TotalBytes += Len;
+  if (BufferLen) {
+    const std::size_t Fill = std::min(Len, Buffer.size() - BufferLen);
+    std::memcpy(Buffer.data() + BufferLen, Bytes, Fill);
+    BufferLen += Fill;
+    Bytes += Fill;
+    Len -= Fill;
+    if (BufferLen == Buffer.size()) {
+      compress(Buffer.data());
+      BufferLen = 0;
+    }
+  }
+  while (Len >= 64) {
+    compress(Bytes);
+    Bytes += 64;
+    Len -= 64;
+  }
+  if (Len) {
+    std::memcpy(Buffer.data(), Bytes, Len);
+    BufferLen = Len;
+  }
+}
+
+std::array<std::uint8_t, 32> Sha256::digest() {
+  const std::uint64_t BitLen = TotalBytes * 8;
+  const std::uint8_t Pad = 0x80;
+  update(&Pad, 1);
+  const std::uint8_t Zero = 0;
+  while (BufferLen != 56)
+    update(&Zero, 1);
+  std::uint8_t Length[8];
+  for (unsigned I = 0; I < 8; ++I)
+    Length[I] = static_cast<std::uint8_t>(BitLen >> (56 - 8 * I));
+  update(Length, 8);
+
+  std::array<std::uint8_t, 32> Out;
+  for (unsigned I = 0; I < 8; ++I) {
+    Out[4 * I] = static_cast<std::uint8_t>(State[I] >> 24);
+    Out[4 * I + 1] = static_cast<std::uint8_t>(State[I] >> 16);
+    Out[4 * I + 2] = static_cast<std::uint8_t>(State[I] >> 8);
+    Out[4 * I + 3] = static_cast<std::uint8_t>(State[I]);
+  }
+  return Out;
+}
+
+std::array<std::uint8_t, 32> fgbs::sha256(std::string_view Bytes) {
+  Sha256 H;
+  H.update(Bytes);
+  return H.digest();
+}
+
+std::string fgbs::sha256Hex(std::string_view Bytes) {
+  static const char Hex[] = "0123456789abcdef";
+  const std::array<std::uint8_t, 32> D = sha256(Bytes);
+  std::string Out;
+  Out.reserve(64);
+  for (std::uint8_t B : D) {
+    Out.push_back(Hex[B >> 4]);
+    Out.push_back(Hex[B & 0xf]);
+  }
+  return Out;
+}
+
+bool fgbs::isSha256Hex(std::string_view Hex) {
+  if (Hex.size() != 64)
+    return false;
+  for (char C : Hex)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')))
+      return false;
+  return true;
+}

@@ -1,0 +1,63 @@
+//===- fgbs/support/Sha256.h - SHA-256 content addressing -----*- C++ -*-===//
+//
+// Part of the FGBS project: a reproduction of "Fine-grained Benchmark
+// Subsetting for System Selection" (CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-256 (FIPS 180-4), self-contained.  The model registry stores
+/// snapshot blobs under `model/<name>/sha/<hex>` keys, and every
+/// consumer re-verifies the pulled bytes against that hash before
+/// loading — a collision-resistant digest is what makes "the whole
+/// fleet evaluates the same bytes" checkable, where the CRC-32 the
+/// frame/snapshot headers use only catches accidental damage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FGBS_SUPPORT_SHA256_H
+#define FGBS_SUPPORT_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fgbs {
+
+/// Streaming SHA-256: update() any number of times, then digest() once.
+class Sha256 {
+public:
+  Sha256();
+
+  void update(const void *Data, std::size_t Len);
+  void update(std::string_view Bytes) { update(Bytes.data(), Bytes.size()); }
+
+  /// Finalizes and returns the 32-byte digest.  The object must not be
+  /// updated afterwards.
+  std::array<std::uint8_t, 32> digest();
+
+private:
+  void compress(const std::uint8_t *Block);
+
+  std::array<std::uint32_t, 8> State;
+  std::array<std::uint8_t, 64> Buffer;
+  std::size_t BufferLen = 0;
+  std::uint64_t TotalBytes = 0;
+};
+
+/// One-shot digest of \p Bytes.
+std::array<std::uint8_t, 32> sha256(std::string_view Bytes);
+
+/// One-shot digest as 64 lowercase hex digits — the registry's content
+/// address for a blob.
+std::string sha256Hex(std::string_view Bytes);
+
+/// True when \p Hex is exactly 64 lowercase hex digits (the canonical
+/// encoding; uppercase is rejected so one blob has one key).
+bool isSha256Hex(std::string_view Hex);
+
+} // namespace fgbs
+
+#endif // FGBS_SUPPORT_SHA256_H

@@ -226,11 +226,74 @@ TYPED_TEST_P(CacheBackendConformance, WriterLockCycle) {
   Again->release();
 }
 
+TYPED_TEST_P(CacheBackendConformance, NamespacedModelRoundTrip) {
+  // model/ namespaced keys must behave exactly like flat entries:
+  // binary-clean round trips, removable, invisible once removed.  The
+  // wire backend routes these to the server's model shards; directory
+  // backends flat-encode the separators — either way the contract is
+  // identical.
+  CacheBackend &B = this->H.backend();
+  const std::string Name =
+      "model/conf-suite/sha/" + std::string(64, 'a');
+  const std::string Blob = binaryBlob(2048);
+  EXPECT_FALSE(B.exists(Name));
+  ASSERT_TRUE(B.put(Name, Blob));
+  EXPECT_TRUE(B.exists(Name));
+  std::string Loaded;
+  ASSERT_TRUE(B.get(Name, Loaded));
+  EXPECT_EQ(Loaded, Blob);
+  EXPECT_TRUE(B.remove(Name));
+  EXPECT_FALSE(B.exists(Name));
+}
+
+TYPED_TEST_P(CacheBackendConformance, ScanPrefixEnumeratesNamesAndSizes) {
+  CacheBackend &B = this->H.backend();
+  const std::string ShaA = "model/conf-alpha/sha/" + std::string(64, 'b');
+  const std::string ShaB = "model/conf-alpha/sha/" + std::string(64, 'c');
+  const std::string Ref = "model/conf-alpha/ref/latest";
+  const std::string Other = "model/conf-beta/sha/" + std::string(64, 'd');
+  ASSERT_TRUE(B.put(ShaA, binaryBlob(300)));
+  ASSERT_TRUE(B.put(ShaB, binaryBlob(500)));
+  ASSERT_TRUE(B.put(Ref, "ref-bytes"));
+  ASSERT_TRUE(B.put(Other, binaryBlob(700)));
+
+  ScanPrefixResult R = B.scanPrefix("model/conf-alpha/");
+  ASSERT_TRUE(static_cast<bool>(R)) << R.Message;
+  std::sort(R.Entries.begin(), R.Entries.end(),
+            [](const CacheEntry &A, const CacheEntry &C) {
+              return A.Name < C.Name;
+            });
+  ASSERT_EQ(R.Entries.size(), 3u);
+  EXPECT_EQ(R.Entries[0].Name, Ref);
+  EXPECT_EQ(R.Entries[1].Name, ShaA);
+  EXPECT_EQ(R.Entries[1].SizeBytes, 300u);
+  EXPECT_EQ(R.Entries[2].Name, ShaB);
+  EXPECT_EQ(R.Entries[2].SizeBytes, 500u);
+
+  // A narrower prefix keeps only the sub-tree.
+  ScanPrefixResult Shas = B.scanPrefix("model/conf-alpha/sha/");
+  ASSERT_TRUE(static_cast<bool>(Shas)) << Shas.Message;
+  EXPECT_EQ(Shas.Entries.size(), 2u);
+}
+
+TYPED_TEST_P(CacheBackendConformance, ScanPrefixEmptyIsAuthoritative) {
+  // "Nothing under that prefix" must come back as Ok-with-no-entries —
+  // the caller distinguishes an authoritative empty listing from an old
+  // server (Unsupported) or a dead one (Failed).
+  CacheBackend &B = this->H.backend();
+  ScanPrefixResult R = B.scanPrefix("model/conf-absent/");
+  EXPECT_EQ(R.Outcome, ScanPrefixOutcome::Ok) << R.Message;
+  EXPECT_TRUE(R.Entries.empty());
+}
+
 REGISTER_TYPED_TEST_SUITE_P(CacheBackendConformance, AbsentEntryBehaves,
                             BinaryRoundTrip, OverwriteReplacesBytes,
                             EmptyBlobIsAnEntry, RemoveDeletes,
                             ScanFiltersAndSizes, LargeBlobRoundTrip,
-                            LockPathContract, WriterLockCycle);
+                            LockPathContract, WriterLockCycle,
+                            NamespacedModelRoundTrip,
+                            ScanPrefixEnumeratesNamesAndSizes,
+                            ScanPrefixEmptyIsAuthoritative);
 
 } // namespace conformance
 } // namespace fgbs

@@ -82,6 +82,9 @@ std::vector<std::pair<net::Opcode, std::string>> frameCorpus() {
   add(net::Opcode::CompleteWork, Complete);
   add(net::Opcode::AbandonWork, Complete);
   add(net::Opcode::Stats, "");
+  std::string ScanPrefix;
+  putStr(ScanPrefix, "model/suite/");
+  add(net::Opcode::ScanPrefix, ScanPrefix);
 
   add(net::Opcode::Ok, Name);
   add(net::Opcode::NotFound, "");
@@ -266,6 +269,68 @@ TEST_F(FuzzServer, SurvivesFrameLevelDamage) {
     }
     expectAlive();
   }
+}
+
+TEST_F(FuzzServer, RejectsMalformedNamespacedNamesWithTypedErrors) {
+  // The namespace separator opens a path-traversal-shaped attack
+  // surface; every spelling below must come back as a typed Error on a
+  // live connection — never a stored entry, a dropped connection, or a
+  // crash.  One canonical encoding: dot segments, empty segments,
+  // unknown namespaces, the reserved '~' escape byte, and over-long
+  // names are all rejects.
+  const std::vector<std::string> BadNames = {
+      "",                      // empty name
+      "model/",                // namespace with no segments
+      "model//x",              // empty segment
+      "model/x/",              // trailing separator (empty last segment)
+      "model/./x",             // dot segment
+      "model/../x",            // dot-dot segment
+      "model/x/..",            // dot-dot leaf
+      "model/x y/z",           // whitespace in a segment
+      "model/x\x01y",          // control byte in a segment
+      "meas/",                 // alias with no rest
+      "meas/..",               // alias of an invalid flat name
+      "meas/x/y",              // the flat space has no sub-paths
+      "snapshots/x",           // unknown namespace
+      "model/x~y/z",           // reserved flat-encoding escape byte
+      "fgbs~meas",             // reserved escape in a flat name
+      "/model/x",              // absolute-looking spelling
+      "model/" + std::string(300, 'a'), // over the 255-byte entry limit
+  };
+  net::Socket S = connect();
+  ASSERT_TRUE(S.valid());
+  for (const std::string &Name : BadNames) {
+    std::string Payload;
+    putStr(Payload, Name);
+    ASSERT_TRUE(net::writeFrame(S, net::Opcode::Exists, Payload, 2000));
+    net::Frame Reply;
+    ASSERT_EQ(net::readFrame(S, Reply, 2000), net::WireError::None)
+        << "name '" << Name << "'";
+    EXPECT_EQ(Reply.Op, net::Opcode::Error) << "name '" << Name << "'";
+
+    // A Put must be refused too — rejection at the read side only would
+    // still let hostile names onto the disk.
+    std::string PutPayload;
+    putStr(PutPayload, Name);
+    PutPayload += "payload";
+    ASSERT_TRUE(net::writeFrame(S, net::Opcode::Put, PutPayload, 2000));
+    ASSERT_EQ(net::readFrame(S, Reply, 2000), net::WireError::None)
+        << "name '" << Name << "'";
+    EXPECT_EQ(Reply.Op, net::Opcode::Error) << "put of name '" << Name << "'";
+  }
+  // The canonical spellings still work on the same connection.
+  for (const std::string &Good :
+       {std::string("model/suite/sha/") + std::string(64, 'e'),
+        std::string("meas/fgbs-meas-0123456789abcdef.v1"),
+        std::string("fgbs-meas-0123456789abcdef.v1")}) {
+    std::string Payload;
+    putStr(Payload, Good);
+    ASSERT_TRUE(net::writeFrame(S, net::Opcode::Exists, Payload, 2000));
+    net::Frame Reply;
+    ASSERT_EQ(net::readFrame(S, Reply, 2000), net::WireError::None);
+    EXPECT_EQ(Reply.Op, net::Opcode::Ok) << "name '" << Good << "'";
+  }
+  expectAlive();
 }
 
 TEST_F(FuzzServer, AnswersGarbagePayloadsWithTypedErrors) {

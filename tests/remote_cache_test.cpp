@@ -13,6 +13,7 @@
 #include "fgbs/core/RemoteCacheBackend.h"
 #include "fgbs/core/TieredCacheBackend.h"
 #include "fgbs/net/CacheServer.h"
+#include "fgbs/obs/Json.h"
 #include "fgbs/obs/Metrics.h"
 #include "fgbs/service/Snapshot.h"
 #include "fgbs/suites/Synthetic.h"
@@ -553,6 +554,94 @@ TEST(TempFileHygiene, ManifestRescanIgnoresTempFiles) {
   EXPECT_TRUE(Stats.RebuiltFromScan);
   EXPECT_EQ(Stats.Entries, 1u);
   EXPECT_EQ(Stats.Removed, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// fgbs.cachestats.v1: the machine-readable stats surface
+//===----------------------------------------------------------------------===//
+
+TEST(StatsJson, SchemaCoversBothNamespaces) {
+  TempDir Dir("stats_json");
+  net::CacheServer Server(loopbackConfig(Dir, 2));
+  std::string Error;
+  ASSERT_TRUE(Server.start(&Error)) << Error;
+  RemoteCacheBackend Client(clientConfig(Server));
+
+  // Populate both namespaces and tick the scan counter so every JSON
+  // field below is exercised with a non-trivial value.
+  ASSERT_TRUE(Client.put("fgbs-meas-00000000000000f0.v1", "meas bytes"));
+  const std::string Sha = "model/stats-model/sha/" + std::string(64, 'f');
+  ASSERT_TRUE(Client.put(Sha, "model bytes"));
+  ASSERT_TRUE(Client.put("model/stats-model/ref/latest", "ref bytes"));
+  ASSERT_TRUE(static_cast<bool>(Client.scanPrefix("model/")));
+
+  RemoteCacheStats Stats;
+  ASSERT_TRUE(Client.statsRemote(Stats));
+  ASSERT_TRUE(Stats.HasModelStats);
+  // ModelPuts counts every model-namespace store; ModelRefPuts is the
+  // ref-only sub-count.
+  EXPECT_EQ(Stats.ModelPuts, 2u);
+  EXPECT_EQ(Stats.ModelRefPuts, 1u);
+  EXPECT_EQ(Stats.ScanPrefixes, 1u);
+
+  const std::string Json = renderStatsJson(Stats);
+  std::optional<obs::JsonValue> Doc = obs::parseJson(Json);
+  ASSERT_TRUE(Doc.has_value()) << "stats JSON must parse:\n" << Json;
+
+  const obs::JsonValue *Schema = Doc->find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->string(), "fgbs.cachestats.v1");
+
+  const obs::JsonValue *Meas = Doc->find("meas");
+  ASSERT_NE(Meas, nullptr);
+  for (const char *Key : {"shards", "entries", "bytes", "hits", "misses"})
+    EXPECT_NE(Meas->find(Key), nullptr) << "meas." << Key;
+  EXPECT_EQ(Meas->find("entries")->number(), 1.0);
+  EXPECT_EQ(Meas->find("shards")->elements().size(), 2u);
+
+  const obs::JsonValue *Leases = Doc->find("leases");
+  ASSERT_NE(Leases, nullptr);
+  EXPECT_NE(Leases->find("granted"), nullptr);
+  EXPECT_NE(Leases->find("denied"), nullptr);
+
+  const obs::JsonValue *Farm = Doc->find("farm");
+  ASSERT_NE(Farm, nullptr);
+  for (const char *Key : {"pending", "claimed", "enqueued", "claims",
+                          "completed", "requeued", "heartbeats", "dropped"})
+    EXPECT_NE(Farm->find(Key), nullptr) << "farm." << Key;
+
+  const obs::JsonValue *Model = Doc->find("model");
+  ASSERT_NE(Model, nullptr);
+  ASSERT_FALSE(Model->isNull());
+  for (const char *Key :
+       {"shards", "entries", "bytes", "gets", "puts", "ref_puts",
+        "scan_prefixes"})
+    EXPECT_NE(Model->find(Key), nullptr) << "model." << Key;
+  EXPECT_EQ(Model->find("entries")->number(), 2.0) << "sha blob + ref";
+  EXPECT_EQ(Model->find("puts")->number(), 2.0);
+  EXPECT_EQ(Model->find("ref_puts")->number(), 1.0);
+  EXPECT_EQ(Model->find("scan_prefixes")->number(), 1.0);
+
+  Server.stop();
+}
+
+TEST(StatsJson, PreNamespaceServerRendersModelNull) {
+  // A stats reply without the namespace extension (an old server) must
+  // render "model": null — distinguishable from "zero models" — while
+  // the measurement half stays fully populated.
+  RemoteCacheStats Stats;
+  Stats.Shards.resize(1);
+  Stats.Shards[0].Entries = 7;
+  Stats.Shards[0].Bytes = 4096;
+  Stats.Hits = 3;
+  ASSERT_FALSE(Stats.HasModelStats);
+  const std::string Json = renderStatsJson(Stats);
+  std::optional<obs::JsonValue> Doc = obs::parseJson(Json);
+  ASSERT_TRUE(Doc.has_value()) << Json;
+  const obs::JsonValue *Model = Doc->find("model");
+  ASSERT_NE(Model, nullptr);
+  EXPECT_TRUE(Model->isNull());
+  EXPECT_EQ(Doc->find("meas")->find("entries")->number(), 7.0);
 }
 
 } // namespace

@@ -10,9 +10,10 @@
 //
 //   fgbs_cached --root DIR [--port N] [--shards N] [--threads N]
 //               [--bind ADDR] [--max-bytes N] [--max-age SECONDS]
+//               [--model-max-bytes N] [--model-max-age SECONDS]
 //               [--port-file PATH] [--workers N] [--prune-interval SEC]
 //   fgbs_cached --ping HOST:PORT
-//   fgbs_cached --stats HOST:PORT
+//   fgbs_cached --stats HOST:PORT [--json]
 //
 // Runs until SIGINT/SIGTERM, then drains connections and exits cleanly
 // (so the fgbs.run.v1 report is written).  Honours FGBS_TELEMETRY /
@@ -48,10 +49,11 @@ void onSignal(int) { ShutdownRequested.store(true); }
 int usage(std::ostream &OS, int Exit) {
   OS << "usage: fgbs_cached --root DIR [--port N] [--shards N]\n"
         "                   [--threads N] [--bind ADDR] [--max-bytes N]\n"
-        "                   [--max-age SEC] [--port-file PATH]\n"
+        "                   [--max-age SEC] [--model-max-bytes N]\n"
+        "                   [--model-max-age SEC] [--port-file PATH]\n"
         "                   [--workers N] [--prune-interval SEC]\n"
         "       fgbs_cached --ping HOST:PORT\n"
-        "       fgbs_cached --stats HOST:PORT\n"
+        "       fgbs_cached --stats HOST:PORT [--json]\n"
         "\n"
         "Serves a sharded measurement-cache directory to a fleet of\n"
         "fgbs_train runs over the fgbs.cachewire.v1 protocol, so the\n"
@@ -71,6 +73,13 @@ int usage(std::ostream &OS, int Exit) {
         "                 (default: unbounded)\n"
         "  --max-age SEC  evict entries unused for more than SEC seconds\n"
         "                 (default: unbounded)\n"
+        "  --model-max-bytes N\n"
+        "                 separate byte budget for the model/ namespace's\n"
+        "                 snapshot blobs (refs are never budget-pruned;\n"
+        "                 default: unbounded)\n"
+        "  --model-max-age SEC\n"
+        "                 evict model snapshot blobs unused for more than\n"
+        "                 SEC seconds (default: unbounded)\n"
         "  --port-file PATH\n"
         "                 write the bound port as a line of text (for\n"
         "                 scripts using --port 0)\n"
@@ -86,6 +95,8 @@ int usage(std::ostream &OS, int Exit) {
         "  --stats HOST:PORT\n"
         "                 print a running daemon's shard footprints and\n"
         "                 request/queue counters and exit\n"
+        "  --json         with --stats: emit one fgbs.cachestats.v1 JSON\n"
+        "                 document instead of the human-readable text\n"
         "  --help         print this help and exit\n"
         "  --version      print the tool version and exit\n";
   return Exit;
@@ -107,6 +118,7 @@ int main(int argc, char **argv) {
   std::string PortFile;
   std::string PingSpec;
   std::string StatsSpec;
+  bool StatsJson = false;
   unsigned Workers = 0;
   std::uint64_t PruneIntervalSeconds = 0;
 
@@ -151,6 +163,16 @@ int main(int argc, char **argv) {
         std::cerr << "fgbs_cached: --max-age needs a second count\n";
         return usage(std::cerr, 2);
       }
+    } else if (Arg == "--model-max-bytes" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Config.ModelMaxBytes)) {
+        std::cerr << "fgbs_cached: --model-max-bytes needs a byte count\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (Arg == "--model-max-age" && I + 1 < argc) {
+      if (!parseU64(argv[++I], Config.ModelMaxAgeSeconds)) {
+        std::cerr << "fgbs_cached: --model-max-age needs a second count\n";
+        return usage(std::cerr, 2);
+      }
     } else if (Arg == "--port-file" && I + 1 < argc) {
       PortFile = argv[++I];
     } else if (Arg == "--workers" && I + 1 < argc) {
@@ -168,6 +190,8 @@ int main(int argc, char **argv) {
       PingSpec = argv[++I];
     } else if (Arg == "--stats" && I + 1 < argc) {
       StatsSpec = argv[++I];
+    } else if (Arg == "--json") {
+      StatsJson = true;
     } else {
       std::cerr << "fgbs_cached: unknown argument '" << Arg << "'\n";
       return usage(std::cerr, 2);
@@ -203,6 +227,10 @@ int main(int argc, char **argv) {
       std::cerr << "fgbs_cached: no server at " << StatsSpec << "\n";
       return 1;
     }
+    if (StatsJson) {
+      std::cout << renderStatsJson(Stats);
+      return 0;
+    }
     std::uint64_t Entries = 0, Bytes = 0;
     for (std::size_t I = 0; I < Stats.Shards.size(); ++I) {
       Entries += Stats.Shards[I].Entries;
@@ -222,6 +250,18 @@ int main(int argc, char **argv) {
               << " completed, " << Stats.FarmRequeued << " requeued, "
               << Stats.FarmHeartbeats << " heartbeats, " << Stats.FarmDropped
               << " dropped\n";
+    if (Stats.HasModelStats) {
+      std::uint64_t ModelEntries = 0, ModelBytes = 0;
+      for (const RemoteShardStats &S : Stats.ModelShards) {
+        ModelEntries += S.Entries;
+        ModelBytes += S.Bytes;
+      }
+      std::cout << "model: " << ModelEntries << " entries, " << ModelBytes
+                << " bytes across " << Stats.ModelShards.size()
+                << " shards; " << Stats.ModelGets << " gets, "
+                << Stats.ModelPuts << " puts, " << Stats.ModelRefPuts
+                << " ref puts, " << Stats.ScanPrefixes << " scans\n";
+    }
     return 0;
   }
 

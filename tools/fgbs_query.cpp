@@ -9,16 +9,24 @@
 // responses, never a crash.
 //
 //   fgbs_query MODEL [--script IN] [--out OUT] [--threads N]
+//   fgbs_query --model fgbs://HOST:PORT/NAME[@TAG|@sha256:HEX] [...]
 //   fgbs_query --compare GOLDEN ACTUAL [--tolerance T]
 //
-// The --compare mode diffs two response streams with a numeric
+// The --model form pulls the snapshot from a model registry (a
+// namespace-aware fgbs_cached), verifies it against its content hash,
+// and memoizes it in a local cache directory so the next pull on this
+// host transfers no payload; a dead registry degrades to that local
+// copy.  The --compare mode diffs two response streams with a numeric
 // tolerance, so CI golden tests survive benign last-ulp drift between
 // compilers while still catching real behaviour changes.
 //
-// Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON.
+// Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON, plus
+// FGBS_MODEL_CACHE (default local model-snapshot cache directory).
 //
 //===----------------------------------------------------------------------===//
 
+#include "fgbs/core/ModelRegistry.h"
+#include "fgbs/core/RemoteCacheBackend.h"
 #include "fgbs/obs/RunReport.h"
 #include "fgbs/obs/Trace.h"
 #include "fgbs/service/Protocol.h"
@@ -38,6 +46,8 @@ constexpr const char *kVersion = "fgbs_query (fgbs.model.v1 reader) 1.0";
 
 int usage(std::ostream &OS, int Exit) {
   OS << "usage: fgbs_query MODEL [--script IN] [--out OUT] [--threads N]\n"
+        "       fgbs_query --model fgbs://HOST:PORT/NAME[@TAG|@sha256:HEX]\n"
+        "                  [--model-cache DIR] [--script IN] [--out OUT]\n"
         "       fgbs_query --compare GOLDEN ACTUAL [--tolerance T]\n"
         "\n"
         "Serves line-delimited JSON requests against a trained\n"
@@ -50,6 +60,15 @@ int usage(std::ostream &OS, int Exit) {
         "       {\"op\":\"predict\",\"features\":[...],\"ref_seconds\":S}\n"
         "       {\"op\":\"rank\",\"queries\":[{...},...]}\n"
         "\n"
+        "  --model URI     pull the snapshot from a model registry by tag\n"
+        "                  (default 'latest') or explicit sha256 hash,\n"
+        "                  verify it, and serve it.  Pulled bytes are\n"
+        "                  memoized in the local model cache, so a warm\n"
+        "                  pull is a ref check with no payload transfer\n"
+        "                  and a dead registry degrades to the local copy\n"
+        "  --model-cache DIR\n"
+        "                  local model-snapshot cache directory (default:\n"
+        "                  the FGBS_MODEL_CACHE environment variable)\n"
         "  --script IN     read requests from IN instead of stdin\n"
         "  --out OUT       write responses to OUT instead of stdout\n"
         "  --threads N     thread-pool size for batched ops (default 1)\n"
@@ -183,6 +202,8 @@ int compareStreams(const std::string &GoldenPath, const std::string &ActualPath,
 
 int main(int argc, char **argv) {
   std::string ModelPath;
+  std::string ModelUriArg;
+  std::string ModelCacheDir;
   std::string ScriptPath;
   std::string OutPath;
   std::string ComparePathA;
@@ -190,6 +211,8 @@ int main(int argc, char **argv) {
   bool CompareMode = false;
   double Tolerance = 1e-9;
   unsigned Threads = 1;
+  if (const char *Dir = std::getenv("FGBS_MODEL_CACHE"))
+    ModelCacheDir = Dir;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -210,6 +233,10 @@ int main(int argc, char **argv) {
         std::cerr << "fgbs_query: --tolerance needs a non-negative number\n";
         return usage(std::cerr, 2);
       }
+    } else if (Arg == "--model" && I + 1 < argc) {
+      ModelUriArg = argv[++I];
+    } else if (Arg == "--model-cache" && I + 1 < argc) {
+      ModelCacheDir = argv[++I];
     } else if (Arg == "--script" && I + 1 < argc) {
       ScriptPath = argv[++I];
     } else if (Arg == "--out" && I + 1 < argc) {
@@ -232,22 +259,59 @@ int main(int argc, char **argv) {
 
   if (CompareMode)
     return compareStreams(ComparePathA, ComparePathB, Tolerance);
-  if (ModelPath.empty()) {
-    std::cerr << "fgbs_query: a MODEL path is required\n";
+  if (ModelPath.empty() == ModelUriArg.empty()) {
+    std::cerr << "fgbs_query: exactly one of a MODEL path or --model URI "
+                 "is required\n";
     return usage(std::cerr, 2);
   }
 
   obs::Session Run("fgbs_query");
 
   std::uint64_t LoadStart = obs::nowNs();
-  service::SnapshotLoadResult Loaded = service::loadSnapshotFile(ModelPath);
-  std::uint64_t LoadNs = obs::nowNs() - LoadStart;
-  if (!Loaded) {
-    std::cerr << "fgbs_query: cannot load '" << ModelPath << "': "
-              << service::snapshotErrorName(Loaded.Error) << " ("
-              << Loaded.Message << ")\n";
-    return 1;
+  service::SnapshotLoadResult Loaded;
+  if (!ModelUriArg.empty()) {
+    ModelUri Uri;
+    std::string UriError;
+    if (!parseModelUri(ModelUriArg, Uri, &UriError)) {
+      std::cerr << "fgbs_query: --model: " << UriError << "\n";
+      return usage(std::cerr, 2);
+    }
+    RemoteCacheConfig Remote;
+    Remote.Host = Uri.Host;
+    Remote.Port = Uri.Port;
+    ModelRegistry Registry(std::make_unique<RemoteCacheBackend>(Remote),
+                           ModelCacheDir);
+    PullResult Pulled = Uri.Sha256Hex.empty()
+                            ? Registry.pull(Uri.Name, Uri.Tag)
+                            : Registry.pullByHash(Uri.Name, Uri.Sha256Hex);
+    if (!Pulled) {
+      std::cerr << "fgbs_query: cannot pull '" << ModelUriArg << "' ("
+                << registryErrorName(Pulled.Error) << "): " << Pulled.Message
+                << "\n";
+      return 1;
+    }
+    if (Pulled.Degraded)
+      std::cerr << "fgbs_query: warning: registry unreachable; serving the "
+                   "locally cached copy of sha256:"
+                << Pulled.Sha256Hex << "\n";
+    Loaded = service::parseSnapshot(Pulled.Bytes);
+    if (!Loaded) {
+      std::cerr << "fgbs_query: pulled snapshot sha256:" << Pulled.Sha256Hex
+                << " does not parse: "
+                << service::snapshotErrorName(Loaded.Error) << " ("
+                << Loaded.Message << ")\n";
+      return 1;
+    }
+  } else {
+    Loaded = service::loadSnapshotFile(ModelPath);
+    if (!Loaded) {
+      std::cerr << "fgbs_query: cannot load '" << ModelPath << "': "
+                << service::snapshotErrorName(Loaded.Error) << " ("
+                << Loaded.Message << ")\n";
+      return 1;
+    }
   }
+  std::uint64_t LoadNs = obs::nowNs() - LoadStart;
   FGBS_HISTOGRAM_RECORD_NS("service.snapshot.load", LoadNs);
   Run.recordValue("snapshot_load_ms", static_cast<double>(LoadNs) / 1e6);
 

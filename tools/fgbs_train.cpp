@@ -12,18 +12,21 @@
 //              [--threads N] [--cache DIR | --no-cache]
 //              [--cache-remote HOST:PORT]
 //              [--cache-max-bytes N] [--cache-max-age SECONDS]
+//              [--publish fgbs://HOST:PORT/NAME[@TAG]]
 //   fgbs_train --cache DIR --cache-prune [--cache-max-bytes N]
 //              [--cache-max-age SECONDS]
 //
 // Honours FGBS_TELEMETRY / FGBS_RUN_JSON / FGBS_TRACE_JSON like every
 // other FGBS surface, plus FGBS_THREADS (default measurement fan-out),
 // FGBS_MEAS_CACHE (default measurement-cache directory),
-// FGBS_MEAS_CACHE_REMOTE (default fgbs_cached address), and
-// FGBS_MEAS_CACHE_MAX_BYTES (default cache byte budget).
+// FGBS_MEAS_CACHE_REMOTE (default fgbs_cached address),
+// FGBS_MEAS_CACHE_MAX_BYTES (default cache byte budget), and
+// FGBS_MODEL_CACHE (default local model-snapshot cache directory).
 //
 //===----------------------------------------------------------------------===//
 
 #include "fgbs/core/MeasurementCache.h"
+#include "fgbs/core/ModelRegistry.h"
 #include "fgbs/core/RemoteCacheBackend.h"
 #include "fgbs/obs/RunReport.h"
 #include "fgbs/obs/Trace.h"
@@ -47,6 +50,8 @@ int usage(std::ostream &OS, int Exit) {
         "                  [--cache-remote HOST:PORT]\n"
         "                  [--distribute] [--distribute-wait MS]\n"
         "                  [--cache-max-bytes N] [--cache-max-age SEC]\n"
+        "                  [--publish fgbs://HOST:PORT/NAME[@TAG]]\n"
+        "                  [--model-cache DIR]\n"
         "       fgbs_train --cache DIR --cache-prune\n"
         "                  [--cache-max-bytes N] [--cache-max-age SEC]\n"
         "\n"
@@ -56,7 +61,17 @@ int usage(std::ostream &OS, int Exit) {
         "\n"
         "  --suite NAME   nr (Numerical Recipes), nas (NAS SER), or\n"
         "                 synthetic (the deterministic synthetic corpus)\n"
-        "  --out PATH     snapshot file to write (required)\n"
+        "  --out PATH     snapshot file to write (required unless\n"
+        "                 --publish is given)\n"
+        "  --publish URI  publish the snapshot to a model registry\n"
+        "                 (a namespace-aware fgbs_cached) and point the\n"
+        "                 URI's tag (default 'latest') at it; snapshot\n"
+        "                 blob first, then the ref, so a crash never\n"
+        "                 leaves a dangling tag\n"
+        "  --model-cache DIR\n"
+        "                 local model-snapshot cache memoizing what this\n"
+        "                 host published/pulled (default: the\n"
+        "                 FGBS_MODEL_CACHE environment variable)\n"
         "  --k N          force N clusters (default: Elbow-selected)\n"
         "  --threads N    measurement threads (default: the FGBS_THREADS\n"
         "                 environment variable, else all hardware threads;\n"
@@ -113,11 +128,15 @@ bool parseU64(const char *Text, std::uint64_t &Out) {
 int main(int argc, char **argv) {
   std::string SuiteName = "nr";
   std::string OutPath;
+  std::string PublishUri;
+  std::string ModelCacheDir;
   unsigned K = 0;
   bool PruneOnly = false;
   DatabaseBuildOptions Build;
   if (const char *Dir = std::getenv("FGBS_MEAS_CACHE"))
     Build.CacheDir = Dir;
+  if (const char *Dir = std::getenv("FGBS_MODEL_CACHE"))
+    ModelCacheDir = Dir;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -131,6 +150,10 @@ int main(int argc, char **argv) {
       SuiteName = argv[++I];
     } else if (Arg == "--out" && I + 1 < argc) {
       OutPath = argv[++I];
+    } else if (Arg == "--publish" && I + 1 < argc) {
+      PublishUri = argv[++I];
+    } else if (Arg == "--model-cache" && I + 1 < argc) {
+      ModelCacheDir = argv[++I];
     } else if (Arg == "--k" && I + 1 < argc) {
       char *End = nullptr;
       long V = std::strtol(argv[++I], &End, 10);
@@ -210,8 +233,21 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  if (OutPath.empty()) {
-    std::cerr << "fgbs_train: --out is required\n";
+  ModelUri Publish;
+  if (!PublishUri.empty()) {
+    std::string UriError;
+    if (!parseModelUri(PublishUri, Publish, &UriError)) {
+      std::cerr << "fgbs_train: --publish: " << UriError << "\n";
+      return usage(std::cerr, 2);
+    }
+    if (!Publish.Sha256Hex.empty()) {
+      std::cerr << "fgbs_train: --publish takes a tag, not an explicit "
+                   "hash (the hash is computed from the bytes)\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (OutPath.empty() && PublishUri.empty()) {
+    std::cerr << "fgbs_train: --out or --publish is required\n";
     return usage(std::cerr, 2);
   }
   if (Build.Distribute && Build.CacheRemote.empty() &&
@@ -255,11 +291,33 @@ int main(int argc, char **argv) {
   }
 
   service::ModelSnapshot Snapshot = service::buildSnapshot(Db, R);
-  if (!service::saveSnapshotFile(OutPath, Snapshot)) {
+  if (!OutPath.empty() && !service::saveSnapshotFile(OutPath, Snapshot)) {
     std::cerr << "fgbs_train: cannot write '" << OutPath << "'\n";
     return 1;
   }
   std::string Bytes = service::serializeSnapshot(Snapshot);
+
+  if (!PublishUri.empty()) {
+    RemoteCacheConfig Remote;
+    Remote.Host = Publish.Host;
+    Remote.Port = Publish.Port;
+    ModelRegistry Registry(std::make_unique<RemoteCacheBackend>(Remote),
+                           ModelCacheDir);
+    PublishResult Published =
+        Registry.publish(Publish.Name, Publish.Tag, Bytes);
+    if (!Published) {
+      std::cerr << "fgbs_train: publish failed ("
+                << registryErrorName(Published.Error)
+                << "): " << Published.Message << "\n";
+      return 1;
+    }
+    Run.recordValue("publish_bytes", static_cast<double>(Bytes.size()));
+    std::cout << "published " << Publish.Name << "@" << Publish.Tag
+              << " -> sha256:" << Published.Sha256Hex
+              << (Published.SnapshotAlreadyPresent ? " (blob already present)"
+                                                   : "")
+              << "\n";
+  }
 
   Run.recordValue("snapshot_bytes", static_cast<double>(Bytes.size()));
   Run.recordValue("clusters", static_cast<double>(Snapshot.numClusters()));
@@ -271,6 +329,8 @@ int main(int argc, char **argv) {
             << Snapshot.ReferenceName << ": " << Snapshot.numClusters()
             << " clusters over " << Snapshot.numCodelets() << " codelets, "
             << Snapshot.numTargets() << " targets, " << Bytes.size()
-            << " bytes -> " << OutPath << "\n";
+            << " bytes -> "
+            << (OutPath.empty() ? std::string("(registry only)") : OutPath)
+            << "\n";
   return 0;
 }
